@@ -1,0 +1,186 @@
+package univistor
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (§III, Figs. 5–10) plus the design-choice ablations. Each benchmark
+// regenerates its figure at smoke scale and reports the headline ratio the
+// paper quotes as a custom metric, so `go test -bench=.` doubles as a
+// shape check. Paper-scale sweeps: `go run ./cmd/univibench -all`.
+
+import (
+	"testing"
+
+	"univistor/internal/bench"
+)
+
+// benchOptions is the sweep used by the benchmarks: large enough to show
+// every effect, small enough for -bench runs.
+func benchOptions() bench.Options {
+	o := bench.QuickOptions()
+	o.Scales = []int{32}
+	return o
+}
+
+func value(b *testing.B, r *bench.Result, series string, procs int) float64 {
+	b.Helper()
+	for _, s := range r.Series {
+		if s.Name != series {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Procs == procs {
+				return p.Value
+			}
+		}
+	}
+	b.Fatalf("%s: series %q has no point at %d procs", r.ID, series, procs)
+	return 0
+}
+
+func ratio(b *testing.B, r *bench.Result, num, den string, procs int) float64 {
+	b.Helper()
+	d := value(b, r, den, procs)
+	if d == 0 {
+		b.Fatalf("%s: denominator %q is zero", r.ID, den)
+	}
+	return value(b, r, num, procs) / d
+}
+
+// BenchmarkFig5aWriteIACOC — Fig. 5a: writes to distributed DRAM with
+// interference-aware scheduling and collective open/close toggled.
+func BenchmarkFig5aWriteIACOC(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig5a(o)
+		b.ReportMetric(ratio(b, r, "IA+COC", "neither", 32), "speedup-vs-neither")
+	}
+}
+
+// BenchmarkFig5bReadIACOC — Fig. 5b: the read counterpart.
+func BenchmarkFig5bReadIACOC(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig5b(o)
+		b.ReportMetric(ratio(b, r, "IA+COC", "neither", 32), "speedup-vs-neither")
+	}
+}
+
+// BenchmarkFig5cFlushIAADPT — Fig. 5c: server-side flush with IA and
+// adaptive striping toggled.
+func BenchmarkFig5cFlushIAADPT(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig5c(o)
+		b.ReportMetric(ratio(b, r, "IA+ADPT", "noADPT", 32), "speedup-vs-noADPT")
+	}
+}
+
+// BenchmarkFig6aWriteCompare — Fig. 6a: UniviStor vs Data Elevator vs
+// Lustre, write path.
+func BenchmarkFig6aWriteCompare(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig6a(o)
+		b.ReportMetric(ratio(b, r, "UniviStor/DRAM", "Lustre", 32), "dram-over-lustre")
+		b.ReportMetric(ratio(b, r, "UniviStor/BB", "DataElevator", 32), "bb-over-de")
+	}
+}
+
+// BenchmarkFig6bReadCompare — Fig. 6b: the read comparison.
+func BenchmarkFig6bReadCompare(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig6b(o)
+		b.ReportMetric(ratio(b, r, "UniviStor/DRAM", "Lustre", 32), "dram-over-lustre")
+	}
+}
+
+// BenchmarkFig6cFlushCompare — Fig. 6c: flush rate to Lustre.
+func BenchmarkFig6cFlushCompare(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig6c(o)
+		b.ReportMetric(ratio(b, r, "UniviStor/BB", "DataElevator", 32), "bb-over-de")
+	}
+}
+
+// BenchmarkFig7VPIC5Step — Fig. 7: total I/O time of 5-time-step VPIC-IO.
+func BenchmarkFig7VPIC5Step(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig7(o)
+		b.ReportMetric(ratio(b, r, "DataElevator", "UniviStor/DRAM", 32), "de-time-over-dram")
+	}
+}
+
+// BenchmarkFig8VPIC10StepSpill — Fig. 8: 10 steps spilling across layers.
+func BenchmarkFig8VPIC10StepSpill(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig8(o)
+		b.ReportMetric(ratio(b, r, "UV/(Disk)", "UV/(DRAM+BB+Disk)", 32), "disk-time-over-dram+bb")
+	}
+}
+
+// BenchmarkFig9Workflow5Step — Fig. 9: the VPIC→BD-CATS workflow.
+func BenchmarkFig9Workflow5Step(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig9(o)
+		b.ReportMetric(ratio(b, r, "UV/DRAM Nonoverlap", "UV/DRAM Overlap", 32), "nonoverlap-over-overlap")
+		b.ReportMetric(ratio(b, r, "DataElevator", "UV/DRAM Nonoverlap", 32), "de-over-uvdram")
+	}
+}
+
+// BenchmarkFig10Workflow10Step — Fig. 10: the 10-step unified-view workflow.
+func BenchmarkFig10Workflow10Step(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig10(o)
+		b.ReportMetric(ratio(b, r, "UV/(BB)", "UV/(DRAM+BB)", 32), "bb-time-over-dram+bb")
+	}
+}
+
+// BenchmarkAblationStriping — flush striping policy ablation.
+func BenchmarkAblationStriping(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.AblationStriping(o)
+		b.ReportMetric(ratio(b, r, "adaptive", "eq5", 32), "adaptive-over-eq5")
+	}
+}
+
+// BenchmarkAblationLocationAwareRead — read-service ablation.
+func BenchmarkAblationLocationAwareRead(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.AblationLocationAwareRead(o)
+		b.ReportMetric(ratio(b, r, "location-aware", "via-server", 32), "la-over-via-server")
+	}
+}
+
+// BenchmarkAblationCentralMetadata — metadata-distribution ablation.
+func BenchmarkAblationCentralMetadata(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.AblationCentralMetadata(o)
+		b.ReportMetric(ratio(b, r, "distributed", "central", 32), "dist-over-central")
+	}
+}
+
+// BenchmarkAblationServersPerNode — server density ablation.
+func BenchmarkAblationServersPerNode(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.AblationServersPerNode(o)
+		b.ReportMetric(ratio(b, r, "2/node", "1/node", 32), "two-over-one")
+	}
+}
+
+// BenchmarkAblationSegmentSize — write granularity ablation.
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		r := bench.AblationSegmentSize(o)
+		b.ReportMetric(ratio(b, r, "24MiB", "64KiB", 32), "large-over-small")
+	}
+}

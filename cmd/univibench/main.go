@@ -1,0 +1,78 @@
+// Command univibench regenerates the tables and figures of the UniviStor
+// paper's evaluation (CLUSTER'18, §III) on the simulated cluster.
+//
+// Usage:
+//
+//	univibench -fig fig6a                 # one figure at paper scale
+//	univibench -all -quick                # every figure, laptop scale
+//	univibench -fig fig9 -scales 64,512   # custom process counts
+//	univibench -list                      # show available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"univistor/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure id to regenerate (see -list)")
+		all     = flag.Bool("all", false, "regenerate every figure and ablation")
+		quick   = flag.Bool("quick", false, "laptop-scale sweep (small scales, small data)")
+		scales  = flag.String("scales", "", "comma-separated process counts (overrides default sweep)")
+		verbose = flag.Bool("v", false, "print progress per data point")
+		list    = flag.Bool("list", false, "list available figure ids")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available figures and ablations:")
+		for _, id := range bench.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	o := bench.DefaultOptions()
+	if *quick {
+		o = bench.QuickOptions()
+	}
+	if *scales != "" {
+		var ss []int
+		for _, tok := range strings.Split(*scales, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "univibench: bad scale %q\n", tok)
+				os.Exit(2)
+			}
+			ss = append(ss, n)
+		}
+		o.Scales = ss
+	}
+	o.Verbose = *verbose
+	o.Progress = os.Stderr
+
+	switch {
+	case *all:
+		for _, r := range bench.All(o) {
+			r.Print(os.Stdout)
+			fmt.Println()
+		}
+	case *fig != "":
+		f, ok := bench.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "univibench: unknown figure %q; try -list\n", *fig)
+			os.Exit(2)
+		}
+		f(o).Print(os.Stdout)
+	default:
+		fmt.Fprintln(os.Stderr, "univibench: need -fig <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,219 @@
+// Command univistor-sim runs a single configurable experiment on the
+// simulated cluster and emits the measurements as JSON — the building block
+// for scripting custom sweeps beyond the paper's figures.
+//
+// Usage:
+//
+//	univistor-sim -procs 256 -mb 256 -tiers dram,bb -read -flush
+//	univistor-sim -procs 64 -driver lustre
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"univistor/internal/bb"
+	"univistor/internal/core"
+	"univistor/internal/dataelevator"
+	"univistor/internal/lustre"
+	"univistor/internal/meta"
+	"univistor/internal/mpi"
+	"univistor/internal/mpiio"
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+	"univistor/internal/workloads"
+)
+
+// Output is the JSON result document.
+type Output struct {
+	Driver       string  `json:"driver"`
+	Procs        int     `json:"procs"`
+	Nodes        int     `json:"nodes"`
+	BytesPerRank int64   `json:"bytes_per_rank"`
+	WriteSecs    float64 `json:"write_seconds"`
+	WriteGiBs    float64 `json:"write_gib_per_sec"`
+	ReadSecs     float64 `json:"read_seconds,omitempty"`
+	ReadGiBs     float64 `json:"read_gib_per_sec,omitempty"`
+	FlushSecs    float64 `json:"flush_seconds,omitempty"`
+	FlushGiBs    float64 `json:"flush_gib_per_sec,omitempty"`
+	VirtualEnd   float64 `json:"virtual_end_seconds"`
+}
+
+func main() {
+	var (
+		procs   = flag.Int("procs", 64, "client process count")
+		perNode = flag.Int("ranks-per-node", 32, "ranks per compute node")
+		mb      = flag.Int64("mb", 256, "MiB written per process")
+		segMB   = flag.Int64("seg-mb", 32, "MiB per write call")
+		driver  = flag.String("driver", "univistor", "univistor | dataelevator | lustre")
+		tiers   = flag.String("tiers", "dram,bb", "univistor cache tiers: dram,bb (empty = straight to PFS)")
+		doRead  = flag.Bool("read", false, "read the data back and report read rate")
+		doFlush = flag.Bool("flush", false, "flush to the PFS and report flush rate")
+		noIA    = flag.Bool("no-ia", false, "disable interference-aware scheduling")
+		noCOC   = flag.Bool("no-coc", false, "disable collective open/close")
+		noADPT  = flag.Bool("no-adpt", false, "disable adaptive striping")
+	)
+	flag.Parse()
+
+	tc := topology.Cori()
+	nodes := (*procs + *perNode - 1) / *perNode
+	if nodes < 1 {
+		nodes = 1
+	}
+	tc.Nodes = nodes
+	tc.BBNodes = nodes / 2
+	if tc.BBNodes < 2 {
+		tc.BBNodes = 2
+	}
+
+	e := sim.NewEngine()
+	policy := schedule.InterferenceAware
+	if *noIA {
+		policy = schedule.CFS
+	}
+	w := mpi.NewWorld(e, topology.New(e, tc), policy)
+
+	var env *mpiio.Env
+	var uv *mpiio.UniviStorDriver
+	var de *dataelevator.Driver
+	switch *driver {
+	case "univistor":
+		cc := core.DefaultConfig()
+		cc.InterferenceAware = !*noIA
+		cc.CollectiveOpenClose = !*noCOC
+		cc.AdaptiveStriping = !*noADPT
+		cc.FlushOnClose = *doFlush
+		cc.CacheTiers = nil
+		for _, tok := range strings.Split(*tiers, ",") {
+			switch strings.TrimSpace(tok) {
+			case "dram":
+				cc.CacheTiers = append(cc.CacheTiers, meta.TierDRAM)
+			case "bb":
+				cc.CacheTiers = append(cc.CacheTiers, meta.TierBB)
+			case "":
+			default:
+				fatal("unknown tier %q", tok)
+			}
+		}
+		sys, err := core.NewSystem(w, cc)
+		if err != nil {
+			fatal("%v", err)
+		}
+		uv = mpiio.NewUniviStorDriver(sys)
+		env = mustEnv("univistor", uv)
+	case "dataelevator":
+		bbs, err := bb.New(w.Cluster)
+		if err != nil {
+			fatal("%v", err)
+		}
+		de, err = dataelevator.New(w, bbs, lustre.NewFS(w.Cluster), dataelevator.DefaultConfig())
+		if err != nil {
+			fatal("%v", err)
+		}
+		env = mustEnv("dataelevator", de)
+	case "lustre":
+		env = mustEnv("lustre", mpiio.NewLustreDriver(lustre.NewFS(w.Cluster), tc.SharedFileEff))
+	default:
+		fatal("unknown driver %q", *driver)
+	}
+
+	cfg := workloads.MicroConfig{
+		BytesPerRank: *mb << 20,
+		SegmentBytes: *segMB << 20,
+		FileName:     "sim.h5",
+	}
+	var maxWrite, maxRead sim.Time
+	app := w.Launch("app", *procs, func(r *mpi.Rank) {
+		ws, err := workloads.MicroWrite(r, env, cfg)
+		if err != nil {
+			fatal("write: %v", err)
+		}
+		if ws.Total() > maxWrite {
+			maxWrite = ws.Total()
+		}
+		r.Barrier()
+		if *doFlush || *doRead {
+			if uv != nil {
+				uv.Sys.WaitFlush(r.P, cfg.FileName)
+			}
+			if de != nil {
+				de.WaitFlush(r.P, cfg.FileName)
+			}
+			r.Barrier()
+		}
+		if *doRead {
+			rs, err := workloads.MicroRead(r, env, cfg)
+			if err != nil {
+				fatal("read: %v", err)
+			}
+			if rs.Total() > maxRead {
+				maxRead = rs.Total()
+			}
+		}
+		if uv != nil {
+			uv.Disconnect(r)
+		}
+	}, mpi.LaunchOpts{RanksPerNode: *perNode})
+	e.Go("janitor", func(p *sim.Proc) {
+		app.Wait(p)
+		if uv != nil {
+			uv.Sys.Shutdown()
+		}
+	})
+	end := e.Run()
+	if d := e.Deadlocked(); d != 0 {
+		fatal("%d simulated processes deadlocked", d)
+	}
+
+	const gib = float64(1 << 30)
+	total := float64(*procs) * float64(cfg.BytesPerRank)
+	out := Output{
+		Driver: *driver, Procs: *procs, Nodes: nodes,
+		BytesPerRank: cfg.BytesPerRank,
+		WriteSecs:    float64(maxWrite),
+		VirtualEnd:   float64(end),
+	}
+	if maxWrite > 0 {
+		out.WriteGiBs = total / float64(maxWrite) / gib
+	}
+	if maxRead > 0 {
+		out.ReadSecs = float64(maxRead)
+		out.ReadGiBs = total / float64(maxRead) / gib
+	}
+	if *doFlush {
+		var bytes int64
+		var start, endF sim.Time
+		var ok bool
+		if uv != nil {
+			bytes, start, endF, ok = uv.Sys.FlushStats(cfg.FileName)
+		} else if de != nil {
+			bytes, start, endF, ok = de.FlushStats(cfg.FileName)
+		}
+		if ok && endF > start {
+			out.FlushSecs = float64(endF - start)
+			out.FlushGiBs = float64(bytes) / float64(endF-start) / gib
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func mustEnv(name string, d mpiio.Driver) *mpiio.Env {
+	env, err := mpiio.NewEnv(name, d)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return env
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "univistor-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

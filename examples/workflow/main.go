@@ -1,0 +1,93 @@
+// Workflow example: in-transit analysis with UniviStor's lightweight
+// workflow management (§II-E). A simulation application writes one file per
+// time step while an analysis application, running concurrently on the same
+// nodes, reads each step the moment the producer's collective close
+// releases the write lock — no stale reads, no manual coordination code,
+// and the analysis overlaps the simulation's compute phases.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"univistor"
+)
+
+const (
+	steps        = 4
+	producerN    = 8
+	consumerN    = 8
+	blockPerRank = int64(4) << 20
+	computeSecs  = 8.0
+)
+
+func stepFile(step int) string { return fmt.Sprintf("ts/%02d.dat", step) }
+
+func main() {
+	opts := univistor.Defaults()
+	opts.Machine.Nodes = 4
+	opts.Machine.BBNodes = 2
+	opts.Service.Workflow = true // ENABLE_WORKFLOW in the paper
+
+	cluster, err := univistor.New(opts)
+	if err != nil {
+		log.Fatalf("building cluster: %v", err)
+	}
+
+	var producerDone, consumerDone float64
+	readAt := make([]float64, steps)
+
+	producer := cluster.Launch("simulation", producerN, func(a *univistor.App) {
+		for step := 0; step < steps; step++ {
+			f, err := a.Create(stepFile(step))
+			if err != nil {
+				log.Fatalf("producer rank %d: %v", a.Rank(), err)
+			}
+			off := int64(a.Rank()) * blockPerRank
+			if err := f.WriteAt(off, blockPerRank, nil); err != nil {
+				log.Fatalf("producer write: %v", err)
+			}
+			f.Close() // releases the write lock; readers may proceed
+			a.Compute(computeSecs)
+		}
+		if a.Rank() == 0 {
+			producerDone = a.Now()
+		}
+	}, univistor.WithRanksPerNode(2))
+
+	consumer := cluster.Launch("analysis", consumerN, func(a *univistor.App) {
+		share := int64(producerN) * blockPerRank / int64(consumerN)
+		for step := 0; step < steps; step++ {
+			// Open blocks until the producer's close marks the step
+			// WRITE_DONE — the workflow lock piggybacked on open/close.
+			f, err := a.Open(stepFile(step))
+			if err != nil {
+				log.Fatalf("consumer rank %d: %v", a.Rank(), err)
+			}
+			if a.Rank() == 0 {
+				readAt[step] = a.Now()
+			}
+			if _, err := f.ReadAt(int64(a.Rank())*share, share); err != nil {
+				log.Fatalf("consumer read: %v", err)
+			}
+			f.Close()
+			a.Compute(1) // analyze
+		}
+		if a.Rank() == 0 {
+			consumerDone = a.Now()
+		}
+	}, univistor.WithRanksPerNode(2))
+
+	if _, err := cluster.Run(producer, consumer); err != nil {
+		log.Fatalf("simulation: %v", err)
+	}
+
+	fmt.Printf("producer finished at t=%.2f s; consumer at t=%.2f s\n", producerDone, consumerDone)
+	for step, at := range readAt {
+		fmt.Printf("  step %d became readable at t=%.2f s (producer compute phases overlap analysis)\n",
+			step, at)
+	}
+	overlap := producerDone + float64(steps) // rough serial estimate
+	fmt.Printf("nonoverlapped execution would have taken ≳%.2f s; overlap saved ≈%.2f s\n",
+		overlap, overlap-consumerDone)
+}

@@ -1,0 +1,3 @@
+module univistor
+
+go 1.22

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"univistor/internal/core"
+	"univistor/internal/schedule"
+)
+
+// fig5Variants are the optimization on/off combinations of Fig. 5a/5b:
+// writes/reads to the distributed DRAM space with Interference-Aware
+// scheduling (IA) and Collective Open/Close (COC) toggled.
+func fig5Variants() []variant {
+	mk := func(name string, ia, coc bool) variant {
+		pol := schedule.InterferenceAware
+		if !ia {
+			pol = schedule.CFS
+		}
+		v := uvVariant(name, tiersDRAM, func(c *core.Config) {
+			c.InterferenceAware = ia
+			c.CollectiveOpenClose = coc
+			c.FlushOnClose = false
+		})
+		v.policy = pol
+		return v
+	}
+	return []variant{
+		mk("IA+COC", true, true),
+		mk("noIA", false, true),
+		mk("noCOC", true, false),
+		mk("neither", false, false),
+	}
+}
+
+// Fig5a regenerates Fig. 5a: write I/O rate to distributed DRAM under the
+// four IA/COC combinations.
+func Fig5a(o Options) *Result {
+	res := &Result{ID: "fig5a", Title: "Write to distributed DRAM with IA/COC on/off",
+		Metric: "aggregate write rate (GiB/s)"}
+	for _, v := range fig5Variants() {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			out := runMicro(v, procs, o, microRun{})
+			s.Points = append(s.Points, Point{Procs: procs, Value: out.writeRate})
+			o.progress("fig5a %s procs=%d rate=%.2f GiB/s", v.name, procs, out.writeRate)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Fig5b regenerates Fig. 5b: read I/O rate from distributed DRAM under the
+// four IA/COC combinations.
+func Fig5b(o Options) *Result {
+	res := &Result{ID: "fig5b", Title: "Read from distributed DRAM with IA/COC on/off",
+		Metric: "aggregate read rate (GiB/s)"}
+	for _, v := range fig5Variants() {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			out := runMicro(v, procs, o, microRun{doRead: true})
+			s.Points = append(s.Points, Point{Procs: procs, Value: out.readRate})
+			o.progress("fig5b %s procs=%d rate=%.2f GiB/s", v.name, procs, out.readRate)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Fig5c regenerates Fig. 5c: server-side flush rate from distributed DRAM
+// to Lustre with Interference-Aware scheduling (IA) and ADaPTive striping
+// (ADPT) toggled.
+func Fig5c(o Options) *Result {
+	mk := func(name string, ia, adpt bool) variant {
+		pol := schedule.InterferenceAware
+		if !ia {
+			pol = schedule.CFS
+		}
+		v := uvVariant(name, tiersDRAM, func(c *core.Config) {
+			c.InterferenceAware = ia
+			c.AdaptiveStriping = adpt
+			c.FlushOnClose = true
+		})
+		v.policy = pol
+		return v
+	}
+	variants := []variant{
+		mk("IA+ADPT", true, true),
+		mk("noIA", false, true),
+		mk("noADPT", true, false),
+	}
+	res := &Result{ID: "fig5c", Title: "Flush DRAM→Lustre with IA/ADPT on/off",
+		Metric: "aggregate flush rate (GiB/s)"}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			out := runMicro(v, procs, o, microRun{measureFlush: true})
+			s.Points = append(s.Points, Point{Procs: procs, Value: out.flushRate})
+			o.progress("fig5c %s procs=%d rate=%.2f GiB/s", v.name, procs, out.flushRate)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"univistor/internal/core"
+	"univistor/internal/schedule"
+)
+
+// fig6Variants are the four systems of Fig. 6: UniviStor caching on DRAM,
+// UniviStor caching on the shared burst buffer, Data Elevator, and plain
+// Lustre.
+func fig6Variants(flush bool) []variant {
+	uvDRAM := uvVariant("UniviStor/DRAM", tiersDRAM, func(c *core.Config) { c.FlushOnClose = flush })
+	uvBB := uvVariant("UniviStor/BB", tiersBB, func(c *core.Config) { c.FlushOnClose = flush })
+	de := variant{name: "DataElevator", driver: "dataelevator", policy: schedule.CFS}
+	lus := variant{name: "Lustre", driver: "lustre", policy: schedule.CFS}
+	if flush {
+		return []variant{uvDRAM, uvBB, de}
+	}
+	return []variant{uvDRAM, uvBB, de, lus}
+}
+
+// Fig6a regenerates Fig. 6a: micro-benchmark write I/O rate of the four
+// systems.
+func Fig6a(o Options) *Result {
+	res := &Result{ID: "fig6a", Title: "Write: UniviStor vs Data Elevator vs Lustre",
+		Metric: "aggregate write rate (GiB/s)"}
+	for _, v := range fig6Variants(false) {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			out := runMicro(v, procs, o, microRun{})
+			s.Points = append(s.Points, Point{Procs: procs, Value: out.writeRate})
+			o.progress("fig6a %s procs=%d rate=%.2f GiB/s", v.name, procs, out.writeRate)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Fig6b regenerates Fig. 6b: micro-benchmark read I/O rate of the four
+// systems.
+func Fig6b(o Options) *Result {
+	res := &Result{ID: "fig6b", Title: "Read: UniviStor vs Data Elevator vs Lustre",
+		Metric: "aggregate read rate (GiB/s)"}
+	for _, v := range fig6Variants(false) {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			out := runMicro(v, procs, o, microRun{doRead: true})
+			s.Points = append(s.Points, Point{Procs: procs, Value: out.readRate})
+			o.progress("fig6b %s procs=%d rate=%.2f GiB/s", v.name, procs, out.readRate)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Fig6c regenerates Fig. 6c: flush I/O rate to Lustre of UniviStor (from
+// DRAM and from BB) versus Data Elevator (from BB).
+func Fig6c(o Options) *Result {
+	res := &Result{ID: "fig6c", Title: "Flush to Lustre: UniviStor vs Data Elevator",
+		Metric: "aggregate flush rate (GiB/s)"}
+	for _, v := range fig6Variants(true) {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			out := runMicro(v, procs, o, microRun{measureFlush: true})
+			s.Points = append(s.Points, Point{Procs: procs, Value: out.flushRate})
+			o.progress("fig6c %s procs=%d rate=%.2f GiB/s", v.name, procs, out.flushRate)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}

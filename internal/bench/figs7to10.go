@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+
+	"univistor/internal/core"
+	"univistor/internal/mpi"
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/workloads"
+)
+
+// vpicConfig builds the VPIC kernel config scaled to the sweep options.
+func vpicConfig(o Options, steps int) workloads.VPICConfig {
+	cfg := workloads.DefaultVPIC(steps)
+	cfg.ComputeSeconds = o.ComputeSeconds
+	// Scale the particle count so one step writes BytesPerRank.
+	perPropBytes := o.BytesPerRank / int64(cfg.Props)
+	cfg.ParticlesPerRank = perPropBytes / cfg.BytesPerProp
+	return cfg
+}
+
+// uvStepLogs sizes the per-process logs for one-file-per-step workloads.
+func uvStepLogs(o Options) func(*core.Config) {
+	return func(c *core.Config) {
+		c.DRAMLogBytes = o.BytesPerRank + c.ChunkSize
+		c.BBLogBytes = o.BytesPerRank + c.ChunkSize
+	}
+}
+
+// runVPIC executes the checkpointing workload and returns the paper's
+// "total I/O time": the slowest rank's accumulated open+write+close time
+// plus the tail of the last step's flush beyond its close (§III-C).
+func runVPIC(v variant, procs int, o Options, steps int) float64 {
+	st := buildStack(v, procs, o)
+	cfg := vpicConfig(o, steps)
+	var maxIO, lastClose, flushTail sim.Time
+
+	app := st.W.Launch("vpic", procs, func(r *mpi.Rank) {
+		stats, err := workloads.RunVPIC(r, st.Env, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: vpic: %v", err))
+		}
+		if stats.TotalIO > maxIO {
+			maxIO = stats.TotalIO
+		}
+		if stats.LastClose > lastClose {
+			lastClose = stats.LastClose
+		}
+		r.Barrier()
+		lastFile := cfg.StepFile(steps - 1)
+		if st.UV != nil {
+			st.UV.Sys.WaitFlush(r.P, lastFile)
+		}
+		if st.DE != nil {
+			st.DE.WaitFlush(r.P, lastFile)
+		}
+		r.Barrier()
+		if r.Rank() == 0 {
+			var end sim.Time
+			var ok bool
+			if st.UV != nil {
+				_, _, end, ok = st.UV.Sys.FlushStats(lastFile)
+			} else if st.DE != nil {
+				_, _, end, ok = st.DE.FlushStats(lastFile)
+			}
+			if ok && end > lastClose {
+				flushTail = end - lastClose
+			}
+		}
+		if st.UV != nil {
+			st.UV.Disconnect(r)
+		}
+	}, mpi.LaunchOpts{RanksPerNode: o.RanksPerNode})
+	st.finish(app)
+	return float64(maxIO + flushTail)
+}
+
+// Fig7 regenerates Fig. 7: total I/O time of 5-time-step VPIC-IO under
+// UniviStor/DRAM, UniviStor/BB, Data Elevator, and Lustre.
+func Fig7(o Options) *Result {
+	variants := []variant{
+		uvVariant("UniviStor/DRAM", tiersDRAM, uvStepLogs(o)),
+		uvVariant("UniviStor/BB", tiersBB, uvStepLogs(o)),
+		{name: "DataElevator", driver: "dataelevator", policy: schedule.CFS},
+		{name: "Lustre", driver: "lustre", policy: schedule.CFS},
+	}
+	res := &Result{ID: "fig7", Title: "Total I/O time of 5-time-step VPIC-IO",
+		Metric: "total I/O time (s)"}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			t := runVPIC(v, procs, o, o.TimeSteps5)
+			s.Points = append(s.Points, Point{Procs: procs, Value: t})
+			o.progress("fig7 %s procs=%d time=%.2f s", v.name, procs, t)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Fig8 regenerates Fig. 8: 10-time-step VPIC-IO through UniviStor with
+// different storage-layer combinations — the accumulated data no longer
+// fits in DRAM and spills tier by tier.
+func Fig8(o Options) *Result {
+	variants := []variant{
+		uvVariant("UV/(DRAM+BB+Disk)", tiersBoth, uvStepLogs(o)),
+		uvVariant("UV/(BB+Disk)", tiersBB, uvStepLogs(o)),
+		uvVariant("UV/(Disk)", tiersNone, uvStepLogs(o)),
+	}
+	res := &Result{ID: "fig8", Title: "Total I/O time of 10-time-step VPIC-IO across layer combinations",
+		Metric: "total I/O time (s)"}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			t := runVPIC(v, procs, o, o.TimeSteps10)
+			s.Points = append(s.Points, Point{Procs: procs, Value: t})
+			o.progress("fig8 %s procs=%d time=%.2f s", v.name, procs, t)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// runWorkflow executes the VPIC-IO → BD-CATS-IO workflow of §III-D with
+// half the processes producing and half analyzing, returning the elapsed
+// time from VPIC's start to BD-CATS's completion. In overlap mode both
+// applications run concurrently under UniviStor's workflow management; in
+// nonoverlap mode the analysis starts only after the producer exits.
+func runWorkflow(v variant, procs int, o Options, steps int, overlap bool) float64 {
+	st := buildStack(v, procs, o)
+	writers := procs / 2
+	readers := procs - writers
+	perNode := o.RanksPerNode / 2
+	if perNode < 1 {
+		perNode = 1
+	}
+	nodes := make([]int, len(st.W.Cluster.Nodes))
+	for i := range nodes {
+		nodes[i] = i
+	}
+	cfg := vpicConfig(o, steps)
+	// §III-D measures the workflow's data-movement pipeline: unlike the
+	// §III-C checkpoint runs, there is no artificial compute phase between
+	// steps, so the elapsed time is I/O-dominated.
+	cfg.ComputeSeconds = 0
+	bdcfg := workloads.BDCATSConfig{VPIC: cfg, WritersN: writers, Collective: true}
+	var elapsed sim.Time
+
+	vpicMain := func(r *mpi.Rank) {
+		if _, err := workloads.RunVPIC(r, st.Env, cfg); err != nil {
+			panic(fmt.Sprintf("bench: workflow vpic: %v", err))
+		}
+		if st.UV != nil {
+			st.UV.Disconnect(r)
+		}
+	}
+	bdcatsMain := func(r *mpi.Rank) {
+		if _, err := workloads.RunBDCATS(r, st.Env, bdcfg); err != nil {
+			panic(fmt.Sprintf("bench: workflow bdcats: %v", err))
+		}
+		if r.Now() > elapsed {
+			elapsed = r.Now()
+		}
+		if st.UV != nil {
+			st.UV.Disconnect(r)
+		}
+	}
+
+	opts := mpi.LaunchOpts{RanksPerNode: perNode, Nodes: nodes}
+	if overlap {
+		vpic := st.W.Launch("vpic", writers, vpicMain, opts)
+		bd := st.W.Launch("bdcats", readers, bdcatsMain, opts)
+		st.finish(vpic, bd)
+	} else {
+		vpic := st.W.Launch("vpic", writers, vpicMain, opts)
+		var bd *mpi.Comm
+		gate := &sim.Event{}
+		st.E.Go("sequencer", func(p *sim.Proc) {
+			vpic.Wait(p)
+			bd = st.W.Launch("bdcats", readers, bdcatsMain, opts)
+			gate.Set()
+		})
+		st.E.Go("janitor", func(p *sim.Proc) {
+			gate.Wait(p)
+			bd.Wait(p)
+			if st.UV != nil {
+				st.UV.Sys.Shutdown()
+			}
+		})
+		st.E.Run()
+		if d := st.E.Deadlocked(); d != 0 {
+			panic(fmt.Sprintf("bench: %d processes deadlocked", d))
+		}
+	}
+	return float64(elapsed)
+}
+
+// Fig9 regenerates Fig. 9: total time of the 5-step VPIC→BD-CATS workflow.
+// UniviStor runs in overlap (concurrent, coordinated) and nonoverlap modes
+// on DRAM and BB; Data Elevator and Lustre run nonoverlap.
+func Fig9(o Options) *Result {
+	wfLogs := func(c *core.Config) {
+		uvStepLogs(o)(c)
+		c.Workflow = true
+	}
+	uvDRAM := uvVariant("UV/DRAM", tiersDRAM, wfLogs)
+	uvBB := uvVariant("UV/BB", tiersBB, wfLogs)
+	de := variant{name: "DataElevator", driver: "dataelevator", policy: schedule.CFS}
+	lus := variant{name: "Lustre", driver: "lustre", policy: schedule.CFS}
+
+	res := &Result{ID: "fig9", Title: "5-step VPIC→BD-CATS workflow time",
+		Metric: "elapsed time (s)"}
+	type entry struct {
+		name    string
+		v       variant
+		overlap bool
+	}
+	entries := []entry{
+		{"UV/DRAM Overlap", uvDRAM, true},
+		{"UV/DRAM Nonoverlap", uvDRAM, false},
+		{"UV/BB Overlap", uvBB, true},
+		{"UV/BB Nonoverlap", uvBB, false},
+		{"DataElevator", de, false},
+		{"Lustre", lus, false},
+	}
+	for _, en := range entries {
+		s := Series{Name: en.name}
+		for _, procs := range o.Scales {
+			t := runWorkflow(en.v, procs, o, o.TimeSteps5, en.overlap)
+			s.Points = append(s.Points, Point{Procs: procs, Value: t})
+			o.progress("fig9 %s procs=%d time=%.2f s", en.name, procs, t)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Fig10 regenerates Fig. 10: the 10-step workflow (data exceeds DRAM)
+// under different UniviStor layer combinations, overlap mode.
+func Fig10(o Options) *Result {
+	wfLogs := func(c *core.Config) {
+		uvStepLogs(o)(c)
+		c.Workflow = true
+	}
+	variants := []variant{
+		uvVariant("UV/(DRAM+BB)", tiersBoth, wfLogs),
+		uvVariant("UV/(BB)", tiersBB, wfLogs),
+		uvVariant("UV/(Disk)", tiersNone, wfLogs),
+	}
+	res := &Result{ID: "fig10", Title: "10-step workflow time across layer combinations",
+		Metric: "elapsed time (s)"}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		for _, procs := range o.Scales {
+			t := runWorkflow(v, procs, o, o.TimeSteps10, true)
+			s.Points = append(s.Points, Point{Procs: procs, Value: t})
+			o.progress("fig10 %s procs=%d time=%.2f s", v.name, procs, t)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}

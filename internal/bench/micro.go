@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"univistor/internal/mpi"
+	"univistor/internal/sim"
+	"univistor/internal/workloads"
+)
+
+// microOutcome carries the aggregate measurements of one micro-benchmark
+// run at one scale.
+type microOutcome struct {
+	writeRate float64 // GiB/s, aggregate: total bytes / slowest rank's time
+	readRate  float64
+	flushRate float64 // GiB/s of the server-side flush, when measured
+}
+
+// microRun is what one micro-benchmark execution should do.
+type microRun struct {
+	doRead       bool
+	measureFlush bool
+}
+
+// runMicro executes the §III-B micro-benchmark for one variant at one
+// scale and returns aggregate I/O rates.
+func runMicro(v variant, procs int, o Options, run microRun) microOutcome {
+	st := buildStack(v, procs, o)
+	cfg := workloads.MicroConfig{
+		BytesPerRank: o.BytesPerRank,
+		SegmentBytes: o.SegmentBytes,
+		FileName:     "micro.h5",
+	}
+	var maxWrite, maxRead sim.Time
+	var out microOutcome
+
+	app := st.W.Launch("app", procs, func(r *mpi.Rank) {
+		ws, err := workloads.MicroWrite(r, st.Env, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: micro write: %v", err))
+		}
+		if t := ws.Total(); t > maxWrite {
+			maxWrite = t
+		}
+		r.Barrier()
+
+		if run.measureFlush {
+			// Wait out the asynchronous flush so its rate can be read.
+			if st.UV != nil {
+				st.UV.Sys.WaitFlush(r.P, cfg.FileName)
+			}
+			if st.DE != nil {
+				st.DE.WaitFlush(r.P, cfg.FileName)
+			}
+			r.Barrier()
+		}
+
+		if run.doRead {
+			// Read against a quiesced system: if a flush is in flight,
+			// let it drain first so the read measures the read path.
+			if st.UV != nil {
+				st.UV.Sys.WaitFlush(r.P, cfg.FileName)
+			}
+			if st.DE != nil {
+				st.DE.WaitFlush(r.P, cfg.FileName)
+			}
+			r.Barrier()
+			rs, err := workloads.MicroRead(r, st.Env, cfg)
+			if err != nil {
+				panic(fmt.Sprintf("bench: micro read: %v", err))
+			}
+			if t := rs.Total(); t > maxRead {
+				maxRead = t
+			}
+		}
+		if st.UV != nil {
+			st.UV.Disconnect(r)
+		}
+	}, mpi.LaunchOpts{RanksPerNode: o.RanksPerNode})
+	st.finish(app)
+
+	total := float64(procs) * float64(o.BytesPerRank)
+	if maxWrite > 0 {
+		out.writeRate = total / float64(maxWrite) / GiB
+	}
+	if maxRead > 0 {
+		out.readRate = total / float64(maxRead) / GiB
+	}
+	if run.measureFlush {
+		var bytes int64
+		var start, end sim.Time
+		var ok bool
+		if st.UV != nil {
+			bytes, start, end, ok = st.UV.Sys.FlushStats(cfg.FileName)
+		} else if st.DE != nil {
+			bytes, start, end, ok = st.DE.FlushStats(cfg.FileName)
+		}
+		if ok && end > start {
+			out.flushRate = float64(bytes) / float64(end-start) / GiB
+		}
+	}
+	return out
+}

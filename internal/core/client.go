@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"univistor/internal/bb"
+	"univistor/internal/logstore"
+	"univistor/internal/lustre"
+	"univistor/internal/meta"
+	"univistor/internal/mpi"
+)
+
+// Mode is a file open mode. UniviStor, like the paper's workflow scheme,
+// distinguishes write-only producers from read-only consumers.
+type Mode int
+
+const (
+	// ReadOnly opens for reading.
+	ReadOnly Mode = iota
+	// WriteOnly opens for writing.
+	WriteOnly
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == WriteOnly {
+		return "write"
+	}
+	return "read"
+}
+
+// Client is one application process's handle on UniviStor — the state the
+// client library keeps between MPI_Init and MPI_Finalize.
+type Client struct {
+	sys      *System
+	rank     *mpi.Rank
+	server   *Server // co-located server this client's requests go through
+	localIdx int     // index of this client among its app's ranks on the node
+	globalID int     // system-wide unique client id (proc id in metadata)
+}
+
+// Connect attaches an application rank to UniviStor (the MPI_Init hook of
+// the connection-management module).
+func (sys *System) Connect(r *mpi.Rank) *Client {
+	counts := sys.nodeAppCount[r.Comm().Name()]
+	if counts == nil {
+		counts = make([]int, len(sys.W.Cluster.Nodes))
+		sys.nodeAppCount[r.Comm().Name()] = counts
+	}
+	localIdx := counts[r.Node()]
+	counts[r.Node()]++
+	sys.clients++
+	base := r.Node() * sys.Cfg.ServersPerNode
+	return &Client{
+		sys:      sys,
+		rank:     r,
+		server:   sys.servers[base+localIdx%sys.Cfg.ServersPerNode],
+		localIdx: localIdx,
+		globalID: sys.clients,
+	}
+}
+
+// Disconnect detaches the client (the MPI_Finalize hook).
+func (c *Client) Disconnect() {
+	c.sys.clients--
+}
+
+// Rank returns the underlying application rank.
+func (c *Client) Rank() *mpi.Rank { return c.rank }
+
+// ClientFile is an open handle on a logical file in the unified namespace.
+type ClientFile struct {
+	c    *Client
+	fs   *fileState
+	mode Mode
+
+	ls      *logstore.LogSet // per-process per-tier logs (write mode)
+	bbLog   *bb.File         // BB backing of the TierBB log
+	pfsLog  *lustre.File     // PFS backing of the spill log
+	written int64
+	closed  bool
+}
+
+// Name returns the file's name.
+func (cf *ClientFile) Name() string { return cf.fs.name }
+
+// FID returns the file's id in the unified namespace.
+func (cf *ClientFile) FID() meta.FileID { return cf.fs.fid }
+
+// Open opens a logical file. It is a collective operation: every rank of
+// the application must call it with the same arguments. With COC enabled,
+// only the root contacts the file's home server and broadcasts the result;
+// otherwise every rank performs the metadata operation. With workflow
+// management enabled, the root acquires the file's read/write lock before
+// the broadcast (§II-E).
+func (c *Client) Open(name string, mode Mode) (*ClientFile, error) {
+	sys := c.sys
+	home := sys.homeServer(name)
+	if sys.Cfg.CollectiveOpenClose {
+		if c.rank.Rank() == 0 {
+			sys.chargeOpenOp(c.rank.P, c.rank.Node(), home)
+			if sys.Cfg.Workflow {
+				c.acquireLock(name, mode)
+			}
+		}
+		c.rank.Bcast(0, 256, nil)
+	} else {
+		// All-to-one: every rank performs the same open operation at the
+		// home server, serializing there.
+		if sys.Cfg.Workflow && c.rank.Rank() == 0 {
+			c.acquireLock(name, mode)
+		}
+		sys.chargeOpenOp(c.rank.P, c.rank.Node(), home)
+		c.rank.Barrier()
+	}
+
+	fs, err := sys.fileByName(name, mode == WriteOnly)
+	if err != nil {
+		return nil, err
+	}
+	cf := &ClientFile{c: c, fs: fs, mode: mode}
+	if mode == WriteOnly {
+		fs.writers++
+		if err := cf.setupLogs(); err != nil {
+			return nil, err
+		}
+		fs.procFiles[c.globalID] = cf
+	} else {
+		fs.readers++
+	}
+	return cf, nil
+}
+
+func (c *Client) acquireLock(name string, mode Mode) {
+	if mode == WriteOnly {
+		c.sys.WF.AcquireWrite(c.rank.P, name)
+	} else {
+		c.sys.WF.AcquireRead(c.rank.P, name)
+	}
+}
+
+// setupLogs creates the per-process logs: capacity c/p per tier (§II-B1),
+// where c is the tier's available capacity (node-local pools for DRAM,
+// the whole allocation for BB) and p the process count sharing it.
+func (cf *ClientFile) setupLogs() error {
+	c := cf.c
+	sys := c.sys
+	cfg := sys.Cfg
+	cluster := sys.W.Cluster
+	var caps [meta.NumTiers]int64
+	var res reservation
+	res.node = c.rank.Node()
+
+	if cfg.cachesTier(meta.TierDRAM) {
+		node := cluster.Nodes[c.rank.Node()]
+		p := int64(sys.nodeAppCount[c.rank.Comm().Name()][c.rank.Node()])
+		if p < 1 {
+			p = 1
+		}
+		want := cfg.DRAMLogBytes
+		if want <= 0 {
+			want = int64(float64(node.DRAM.Free()) * cfg.DRAMLogFraction / float64(p))
+		}
+		if free := node.DRAM.Free(); want > free {
+			want = free // shrink rather than fail; the log spills sooner
+		}
+		want -= want % cfg.ChunkSize
+		if want > 0 && node.DRAM.Alloc(want) {
+			caps[meta.TierDRAM] = want
+			res.dram = want
+		}
+	}
+	if cfg.cachesTier(meta.TierLocalSSD) {
+		node := cluster.Nodes[c.rank.Node()]
+		if node.SSD.Total() > 0 {
+			p := int64(sys.nodeAppCount[c.rank.Comm().Name()][c.rank.Node()])
+			if p < 1 {
+				p = 1
+			}
+			want := node.SSD.Free() / p
+			want -= want % cfg.ChunkSize
+			if want > 0 && node.SSD.Alloc(want) {
+				caps[meta.TierLocalSSD] = want
+			}
+		}
+	}
+	if cfg.cachesTier(meta.TierBB) && sys.BB != nil {
+		p := int64(c.rank.Size())
+		want := cfg.BBLogBytes
+		if want <= 0 {
+			want = int64(float64(sys.BB.FreeBytes()) * cfg.BBLogFraction / float64(p))
+		}
+		if free := sys.BB.FreeBytes() / p; want > free {
+			want = free
+		}
+		want -= want % cfg.ChunkSize
+		got := sys.reserveBB(want)
+		got -= got % cfg.ChunkSize
+		caps[meta.TierBB] = got
+		res.bbBytes = got
+	}
+
+	ls, err := logstore.NewLogSet(c.globalID, caps, cfg.ChunkSize)
+	if err != nil {
+		return err
+	}
+	cf.ls = ls
+	if caps[meta.TierBB] > 0 {
+		// The log's space was reserved from the BB pool above; the file
+		// itself must not double-charge it.
+		cf.bbLog = sys.BB.CreateReserved(fmt.Sprintf("uvlog/%d/%d", cf.fs.fid, c.globalID), 1)
+	}
+	cf.fs.reservations = append(cf.fs.reservations, res)
+	return nil
+}
+
+// pfsSpillLog lazily creates the per-process PFS log for spilled segments.
+func (cf *ClientFile) pfsSpillLog() (*lustre.File, error) {
+	if cf.pfsLog != nil {
+		return cf.pfsLog, nil
+	}
+	count := 4
+	if n := cf.c.sys.PFS.OSTCount(); count > n {
+		count = n
+	}
+	f, err := cf.c.sys.PFS.Create(
+		fmt.Sprintf("uvspill/%d/%d", cf.fs.fid, cf.c.globalID),
+		lustre.StripeSpec{Size: 1 << 20, Count: count, StartOST: lustre.AutoStart}, 1)
+	if err != nil {
+		return nil, err
+	}
+	cf.pfsLog = f
+	return f, nil
+}
+
+// Close closes the handle. It is collective; the root piggybacks the
+// workflow lock release and, for dirty write handles, triggers the
+// server-side asynchronous flush (§II-A). Close returns as soon as the
+// flush is *triggered* — use System.WaitFlush to observe completion.
+func (cf *ClientFile) Close() error {
+	if cf.closed {
+		return fmt.Errorf("core: double close of %q", cf.fs.name)
+	}
+	cf.closed = true
+	c := cf.c
+	sys := c.sys
+	home := sys.homeServer(cf.fs.name)
+	if sys.Cfg.CollectiveOpenClose {
+		if c.rank.Rank() == 0 {
+			sys.chargeOpenOp(c.rank.P, c.rank.Node(), home)
+		}
+		c.rank.Barrier()
+	} else {
+		sys.chargeOpenOp(c.rank.P, c.rank.Node(), home)
+		c.rank.Barrier()
+	}
+	if c.rank.Rank() == 0 {
+		if sys.Cfg.Workflow {
+			if cf.mode == WriteOnly {
+				sys.WF.ReleaseWrite(c.rank.P, cf.fs.name)
+			} else {
+				sys.WF.ReleaseRead(c.rank.P, cf.fs.name)
+			}
+		}
+		if cf.mode == WriteOnly && sys.Cfg.FlushOnClose {
+			sys.triggerFlush(c.rank.P, cf.fs)
+		}
+	}
+	if cf.mode == WriteOnly {
+		cf.fs.writers--
+	} else {
+		cf.fs.readers--
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package core implements UniviStor itself: the server runtime deployed
+// across the compute nodes of a job, the client library that redirects
+// MPI-IO traffic into the unified storage space, and the services of
+// paper §II — distributed and hierarchical data placement (DHP), virtual
+// addressing, the distributed metadata service, the location-aware read
+// service, server-side asynchronous flush with adaptive striping, and
+// optional workflow coordination.
+package core
+
+import (
+	"fmt"
+
+	"univistor/internal/meta"
+)
+
+// Config selects UniviStor's deployment shape and optimizations. Every
+// optimization the paper evaluates (IA, COC, ADPT, location-aware reads,
+// workflow management) has an independent switch so the ablation figures
+// can be regenerated.
+type Config struct {
+	// ServersPerNode is the number of UniviStor server processes per
+	// compute node (paper default 1; the evaluation uses 2 to exploit both
+	// NUMA sockets).
+	ServersPerNode int
+
+	// CacheTiers lists the tiers UniviStor caches writes on, fastest
+	// first, e.g. {TierDRAM, TierBB}. The PFS is always the final spill
+	// destination and never needs listing.
+	CacheTiers []meta.Tier
+
+	// DRAMLogFraction is the fraction of a node's DRAM-tier capacity the
+	// per-process memory-mapped logs may use in aggregate (c in c/p).
+	DRAMLogFraction float64
+
+	// BBLogFraction is the analogous fraction of the job's burst-buffer
+	// allocation.
+	BBLogFraction float64
+
+	// DRAMLogBytes, when positive, fixes each per-process DRAM log's size
+	// instead of the c/p default — the paper's "size of the file is
+	// configurable by applications". Multi-file workloads (one file per
+	// time step) set it to the per-step data size so every step's log is
+	// equally sized until the pool runs dry.
+	DRAMLogBytes int64
+
+	// BBLogBytes is the analogous override for the BB-tier logs.
+	BBLogBytes int64
+
+	// ChunkSize is the log-chunk granularity in bytes.
+	ChunkSize int64
+
+	// MetaRangeSize is the offset-range granularity of the distributed
+	// metadata partitioner. It must be at least as large as the largest
+	// single write (segment), or lookups may miss straddling segments.
+	MetaRangeSize int64
+
+	// MetaOpTime is the server CPU time to serve one metadata operation
+	// (segment record insert/lookup).
+	MetaOpTime float64
+
+	// OpenOpTime is the server time to serve one file open/close request —
+	// attribute handling, permission checks, registry updates — the
+	// operation COC collapses from all-ranks-to-one into root-plus-
+	// broadcast. Much heavier than a record op.
+	OpenOpTime float64
+
+	// ShmLatency is the client↔co-located-server shared-memory handoff
+	// latency per operation.
+	ShmLatency float64
+
+	// CollectiveOpenClose enables the COC optimization (§II-F): only the
+	// root performs the open/close metadata operation and broadcasts the
+	// result; disabled, every rank contacts the file's home server.
+	CollectiveOpenClose bool
+
+	// InterferenceAware enables the flush-time client migration of §II-C
+	// (the placement half of IA is the scheduler policy chosen when the
+	// world is built; keep the two in sync).
+	InterferenceAware bool
+
+	// AdaptiveStriping enables Eqs. 2–6 for server-side flush; disabled,
+	// the flush uses the conventional stripe-all layout.
+	AdaptiveStriping bool
+
+	// Alpha is α of Eq. 2: the OST count saturating one flushing server.
+	Alpha int
+
+	// FlushStripingOverride forces a specific flush layout for ablation
+	// studies: "adaptive" (Eqs. 2–6), "eq5" (one OST per server,
+	// round-robin, no dummy-server correction — the straggler baseline),
+	// or "stripe-all". Empty follows AdaptiveStriping.
+	FlushStripingOverride string
+
+	// LocationAwareRead enables the direct local/BB read paths of §II-B4;
+	// disabled, every read hops through the co-located server and remote
+	// data is relayed server-to-server.
+	LocationAwareRead bool
+
+	// FlushOnClose triggers the asynchronous server-side flush when a
+	// write-mode file closes. Applications without persistence needs run
+	// with it off.
+	FlushOnClose bool
+
+	// Workflow enables the §II-E state-file coordination, piggybacked on
+	// collective open/close (ENABLE_WORKFLOW in the paper).
+	Workflow bool
+
+	// CentralMetadata forces all metadata onto server 0 — the naïve
+	// baseline of §II-B3, kept for the ablation benchmark.
+	CentralMetadata bool
+
+	// StripeAllLockEff is the extent-lock efficiency of the shared flush
+	// file under the conventional stripe-all layout (adaptive flush writes
+	// stripe-aligned disjoint ranges and pays no lock penalty).
+	StripeAllLockEff float64
+
+	// ReplicateVolatile mirrors DRAM/local-SSD segments to the buddy node
+	// at write time, so node failure does not lose unflushed data — the
+	// resilience extension from the paper's future work (§V).
+	ReplicateVolatile bool
+
+	// ProactivePlacement promotes segments on slow tiers into the
+	// producer's DRAM log once they have been read PromoteAfterReads
+	// times — the usage-pattern-driven placement extension of §V.
+	ProactivePlacement bool
+
+	// PromoteAfterReads is the heat threshold for promotion (default 2).
+	PromoteAfterReads int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation:
+// 2 servers/node, DRAM+BB caching, all optimizations on.
+func DefaultConfig() Config {
+	return Config{
+		ServersPerNode:      2,
+		CacheTiers:          []meta.Tier{meta.TierDRAM, meta.TierBB},
+		DRAMLogFraction:     0.8,
+		BBLogFraction:       0.9,
+		ChunkSize:           8 << 20,
+		MetaRangeSize:       64 << 20,
+		MetaOpTime:          3e-6,
+		OpenOpTime:          8e-5,
+		ShmLatency:          2e-6,
+		CollectiveOpenClose: true,
+		InterferenceAware:   true,
+		AdaptiveStriping:    true,
+		Alpha:               8,
+		LocationAwareRead:   true,
+		FlushOnClose:        true,
+		Workflow:            false,
+		StripeAllLockEff:    0.5,
+		ReplicateVolatile:   false,
+		ProactivePlacement:  false,
+		PromoteAfterReads:   2,
+	}
+}
+
+// Validate reports a descriptive error for inconsistent configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.ServersPerNode <= 0:
+		return fmt.Errorf("core: ServersPerNode must be positive, got %d", c.ServersPerNode)
+	case c.ChunkSize <= 0:
+		return fmt.Errorf("core: ChunkSize must be positive, got %d", c.ChunkSize)
+	case c.MetaRangeSize <= 0:
+		return fmt.Errorf("core: MetaRangeSize must be positive, got %d", c.MetaRangeSize)
+	case c.DRAMLogFraction < 0 || c.DRAMLogFraction > 1:
+		return fmt.Errorf("core: DRAMLogFraction must be in [0,1], got %v", c.DRAMLogFraction)
+	case c.BBLogFraction < 0 || c.BBLogFraction > 1:
+		return fmt.Errorf("core: BBLogFraction must be in [0,1], got %v", c.BBLogFraction)
+	case c.Alpha <= 0:
+		return fmt.Errorf("core: Alpha must be positive, got %d", c.Alpha)
+	case c.MetaOpTime < 0 || c.ShmLatency < 0 || c.OpenOpTime < 0:
+		return fmt.Errorf("core: latencies must be non-negative")
+	case c.StripeAllLockEff <= 0 || c.StripeAllLockEff > 1:
+		return fmt.Errorf("core: StripeAllLockEff must be in (0,1], got %v", c.StripeAllLockEff)
+	}
+	switch c.FlushStripingOverride {
+	case "", "adaptive", "eq5", "stripe-all":
+	default:
+		return fmt.Errorf("core: unknown FlushStripingOverride %q", c.FlushStripingOverride)
+	}
+	seen := map[meta.Tier]bool{}
+	for _, t := range c.CacheTiers {
+		if t == meta.TierPFS {
+			return fmt.Errorf("core: TierPFS is the implicit final destination, not a cache tier")
+		}
+		if seen[t] {
+			return fmt.Errorf("core: duplicate cache tier %s", t)
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+func (c Config) cachesTier(t meta.Tier) bool {
+	for _, ct := range c.CacheTiers {
+		if ct == t {
+			return true
+		}
+	}
+	return false
+}

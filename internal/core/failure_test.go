@@ -1,0 +1,232 @@
+package core
+
+// Failure-injection tests: capacity exhaustion on every tier, conflicting
+// workflow access, degenerate flushes, and teardown ordering.
+
+import (
+	"testing"
+
+	"univistor/internal/meta"
+	"univistor/internal/mpi"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+func TestBBExhaustionSpillsToPFS(t *testing.T) {
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
+		tc.BBCapPerNode = 3 * mib // 6 MiB total BB
+		cc.CacheTiers = []meta.Tier{meta.TierBB}
+		cc.FlushOnClose = false
+	})
+	var tiers []meta.Tier
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f, _ := c.Open("f", WriteOnly)
+		for i := int64(0); i < 10; i++ {
+			if err := f.WriteAt(i*mib, 1*mib, nil); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+		f.Close()
+		recs, _ := sys.Ring().Covering(f.FID(), 0, 10*mib)
+		for _, rec := range recs {
+			tier, _, _ := sys.files["f"].procFiles[rec.Proc].ls.Space().Decode(rec.VA)
+			tiers = append(tiers, tier)
+		}
+	})
+	pfs := 0
+	for _, tr := range tiers {
+		if tr == meta.TierPFS {
+			pfs++
+		}
+	}
+	if pfs == 0 {
+		t.Errorf("no segments spilled to PFS despite a 6 MiB BB: %v", tiers)
+	}
+}
+
+func TestDRAMPoolSharedAcrossFiles(t *testing.T) {
+	// Two files opened in sequence: the second file's logs get whatever
+	// DRAM the first left, then spill.
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
+		tc.DRAMPerNode = 8 * mib
+		cc.DRAMLogBytes = 6 * mib
+		cc.CacheTiers = []meta.Tier{meta.TierDRAM, meta.TierBB}
+		cc.FlushOnClose = false
+	})
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f1, _ := c.Open("f1", WriteOnly)
+		f1.WriteAt(0, 4*mib, nil)
+		f1.Close()
+		f2, _ := c.Open("f2", WriteOnly)
+		// f2's DRAM log could only reserve 2 MiB: the third write spills.
+		for i := int64(0); i < 4; i++ {
+			if err := f2.WriteAt(i*mib, 1*mib, nil); err != nil {
+				t.Errorf("f2 write %d: %v", i, err)
+			}
+		}
+		f2.Close()
+		recs, _ := sys.Ring().Covering(f2.FID(), 0, 4*mib)
+		sawBB := false
+		for _, rec := range recs {
+			tier, _, _ := sys.files["f2"].procFiles[rec.Proc].ls.Space().Decode(rec.VA)
+			if tier == meta.TierBB {
+				sawBB = true
+			}
+		}
+		if !sawBB {
+			t.Error("second file never spilled to BB despite exhausted DRAM pool")
+		}
+	})
+}
+
+func TestWriterBlockedWhileFlushInProgress(t *testing.T) {
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
+		cc.Workflow = true
+	})
+	var flushEnd, reopenAt sim.Time
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f, _ := c.Open("f", WriteOnly)
+		f.WriteAt(0, 8*mib, nil)
+		f.Close() // triggers flush; workflow marks FLUSHING
+		// Re-opening for write must wait for FLUSH_DONE.
+		f2, err := c.Open("f", WriteOnly)
+		if err != nil {
+			t.Errorf("reopen: %v", err)
+			return
+		}
+		reopenAt = c.Rank().Now()
+		_, _, flushEnd, _ = sys.FlushStats("f")
+		f2.WriteAt(8*mib, 1*mib, nil)
+		f2.Close()
+	})
+	if reopenAt < flushEnd {
+		t.Errorf("writer reacquired the file at %v, before the flush finished at %v", reopenAt, flushEnd)
+	}
+}
+
+func TestServerShutdownAfterAllClientsExit(t *testing.T) {
+	w, sys := testEnv(t, nil)
+	app := w.Launch("app", 2, func(r *mpi.Rank) {
+		c := sys.Connect(r)
+		f, _ := c.Open("f", WriteOnly)
+		f.WriteAt(int64(r.Rank())*mib, 1*mib, nil)
+		f.Close()
+		sys.WaitFlush(r.P, "f")
+		c.Disconnect()
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	w.E.Go("janitor", func(p *sim.Proc) {
+		app.Wait(p)
+		sys.Shutdown()
+	})
+	w.E.Run()
+	if d := w.E.Deadlocked(); d != 0 {
+		t.Fatalf("%d server processes failed to shut down", d)
+	}
+	if !sys.serverComm.Done() {
+		t.Error("server ranks did not exit")
+	}
+}
+
+func TestFlushOfPFSTierDataIsInstant(t *testing.T) {
+	// CacheTiers empty: every write already lands on the PFS spill logs, so
+	// the "flush" has nothing to move and completes with no transfers.
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
+		cc.CacheTiers = nil
+	})
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f, _ := c.Open("f", WriteOnly)
+		f.WriteAt(0, 4*mib, nil)
+		closeAt := c.Rank().Now()
+		f.Close()
+		sys.WaitFlush(c.Rank().P, "f")
+		_, _, end, ok := sys.FlushStats("f")
+		if !ok {
+			t.Error("flush never completed")
+			return
+		}
+		if float64(end-closeAt) > 0.01 {
+			t.Errorf("PFS-resident flush took %v s, want ≈0 (no data motion)", end-closeAt)
+		}
+	})
+}
+
+func TestReadOfUnwrittenRangeIsCheapAndEmpty(t *testing.T) {
+	w, sys := testEnv(t, nil)
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f, _ := c.Open("f", WriteOnly)
+		f.WriteAt(0, 1*mib, nil)
+		start := c.Rank().Now()
+		data, err := f.ReadAt(10*mib, 1*mib) // hole
+		if err != nil {
+			t.Errorf("hole read: %v", err)
+		}
+		if len(data) != 0 {
+			t.Errorf("hole read returned %d bytes of data", len(data))
+		}
+		if d := float64(c.Rank().Now() - start); d > 1e-3 {
+			t.Errorf("hole read took %v s", d)
+		}
+		f.Close()
+	})
+}
+
+func TestConcurrentAppsIsolatedFiles(t *testing.T) {
+	// Two applications writing different files concurrently must not
+	// corrupt each other's metadata or placement.
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) { cc.FlushOnClose = false })
+	mk := func(name string, nodes []int) *mpi.Comm {
+		return w.Launch(name, 2, func(r *mpi.Rank) {
+			c := sys.Connect(r)
+			f, err := c.Open("file-"+name, WriteOnly)
+			if err != nil {
+				t.Errorf("%s open: %v", name, err)
+				return
+			}
+			for i := int64(0); i < 4; i++ {
+				off := int64(r.Rank())*4*mib + i*mib
+				if err := f.WriteAt(off, 1*mib, nil); err != nil {
+					t.Errorf("%s write: %v", name, err)
+				}
+			}
+			f.Close()
+			c.Disconnect()
+		}, mpi.LaunchOpts{RanksPerNode: 1, Nodes: nodes})
+	}
+	a := mk("alpha", []int{0, 1})
+	b := mk("beta", []int{0, 1})
+	w.E.Go("janitor", func(p *sim.Proc) {
+		a.Wait(p)
+		b.Wait(p)
+		sys.Shutdown()
+	})
+	w.E.Run()
+	if d := w.E.Deadlocked(); d != 0 {
+		t.Fatalf("deadlocked: %d", d)
+	}
+	for _, name := range []string{"file-alpha", "file-beta"} {
+		if size, ok := sys.FileSize(name); !ok || size != 8*mib {
+			t.Errorf("%s size = %d, %v", name, size, ok)
+		}
+	}
+	if err := sys.Ring().Validate(); err != nil {
+		t.Errorf("metadata ring corrupted: %v", err)
+	}
+}
+
+func TestOpenReadOnlyMissingFileFailsCleanly(t *testing.T) {
+	w, sys := testEnv(t, nil)
+	runApp(t, w, sys, 2, 1, func(c *Client) {
+		_, err := c.Open("ghost", ReadOnly)
+		if err == nil {
+			t.Error("read-open of missing file succeeded")
+		}
+		// The failed open must not wedge subsequent collectives.
+		f, err := c.Open("real", WriteOnly)
+		if err != nil {
+			t.Errorf("open after failure: %v", err)
+			return
+		}
+		f.WriteAt(int64(c.Rank().Rank())*mib, 1*mib, nil)
+		f.Close()
+	})
+}

@@ -1,0 +1,165 @@
+package core
+
+// Proactive, usage-pattern-driven data placement — the second future-work
+// direction of §V. The read service counts accesses per segment; once a
+// segment on a slow tier (BB, PFS) has been read PromoteAfterReads times,
+// it is migrated into its producer's DRAM log, its metadata record is
+// re-pointed at the new virtual address, and the old log chunks are
+// returned to the free-chunk stack.
+
+import (
+	"fmt"
+
+	"univistor/internal/meta"
+	"univistor/internal/sim"
+)
+
+// trackHeat records one access to the segment and promotes it when it
+// crosses the threshold. Runs in the reading process's context.
+func (cf *ClientFile) trackHeat(p *sim.Proc, rec meta.Record, producer *ClientFile, tier meta.Tier) {
+	fs := cf.fs
+	if fs.heat == nil {
+		fs.heat = map[int64]int{}
+	}
+	fs.heat[rec.Offset]++
+	if tier == meta.TierDRAM || tier == meta.TierLocalSSD {
+		return // already on a fast tier
+	}
+	threshold := cf.c.sys.Cfg.PromoteAfterReads
+	if threshold <= 0 {
+		threshold = 2
+	}
+	if fs.heat[rec.Offset] != threshold {
+		return
+	}
+	cf.c.sys.promoteSegment(p, fs, rec, producer)
+}
+
+// promoteSegment migrates one hot segment into the producer's DRAM log.
+// Best effort: if the log has no room the segment stays where it is.
+func (sys *System) promoteSegment(p *sim.Proc, fs *fileState, rec meta.Record, producer *ClientFile) {
+	dlog := producer.ls.Log(meta.TierDRAM)
+	if dlog.Capacity() == 0 || dlog.Free() < rec.Size {
+		return
+	}
+	oldTier, oldAddr, err := producer.ls.Space().Decode(rec.VA)
+	if err != nil || (oldTier != meta.TierBB && oldTier != meta.TierPFS) {
+		return
+	}
+	newAddr, ok := dlog.Append(rec.Size, nil)
+	if !ok {
+		return
+	}
+	newVA, err := producer.ls.Space().Encode(meta.TierDRAM, newAddr)
+	if err != nil {
+		return
+	}
+
+	// Data motion: source tier → producer node's DRAM, through the
+	// producer's co-located server.
+	prodNode := producer.c.rank.Node()
+	srvPort := producer.c.server.Rank.H.MemPort
+	switch oldTier {
+	case meta.TierBB:
+		if producer.bbLog != nil {
+			producer.bbLog.Read(p, prodNode, oldAddr, rec.Size, srvPort)
+		}
+	case meta.TierPFS:
+		if producer.pfsLog != nil {
+			producer.pfsLog.Read(p, prodNode, oldAddr, rec.Size, srvPort)
+		}
+	}
+
+	// Recycle the old log's chunks that lie entirely inside the segment
+	// (partially shared edge chunks stay live for their neighbours).
+	oldLog := producer.ls.Log(oldTier)
+	chunk := oldLog.ChunkSize()
+	firstFull := (oldAddr + chunk - 1) / chunk
+	lastFull := (oldAddr+rec.Size)/chunk - 1
+	for slot := firstFull; slot <= lastFull; slot++ {
+		oldLog.Punch(slot)
+	}
+
+	// Re-point the metadata at the promoted copy.
+	rec.VA = newVA
+	sys.ring.Put(rec)
+	sys.nodeMeta[prodNode].Put(rec)
+
+	// Pending-flush accounting follows the bytes.
+	if byTier := fs.cached[producer.c.server.GlobalIdx]; byTier != nil {
+		if byTier[oldTier] >= rec.Size {
+			byTier[oldTier] -= rec.Size
+			byTier[meta.TierDRAM] += rec.Size
+		}
+	}
+	fs.promotions++
+	sys.stats.Promotions++
+}
+
+// Promotions reports how many segments proactive placement has migrated to
+// faster tiers for the named file.
+func (sys *System) Promotions(name string) int {
+	fs, ok := sys.files[name]
+	if !ok {
+		return 0
+	}
+	return fs.promotions
+}
+
+// Delete removes the segments lying entirely inside [off, off+size): their
+// metadata records disappear and their log chunks return to the free-chunk
+// stack for reuse (paper §II-B1: "once a chunk is overwritten/deleted, its
+// ID is pushed back to the stack"). Partially overlapping segments are left
+// untouched. It returns the number of segments removed.
+func (cf *ClientFile) Delete(off, size int64) (int, error) {
+	if cf.mode != WriteOnly {
+		return 0, fmt.Errorf("core: delete on %q opened for %s", cf.fs.name, cf.mode)
+	}
+	if cf.closed {
+		return 0, fmt.Errorf("core: delete on closed file %q", cf.fs.name)
+	}
+	sys := cf.c.sys
+	fs := cf.fs
+	recs, _ := sys.ring.Covering(fs.fid, off, size)
+	removed := 0
+	for _, rec := range recs {
+		if rec.Offset < off || rec.Offset+rec.Size > off+size {
+			continue // only whole segments are reclaimed
+		}
+		producer := fs.procFiles[rec.Proc]
+		if producer == nil {
+			continue
+		}
+		tier, addr, err := producer.ls.Space().Decode(rec.VA)
+		if err != nil {
+			return removed, err
+		}
+		log := producer.ls.Log(tier)
+		chunk := log.ChunkSize()
+		firstFull := (addr + chunk - 1) / chunk
+		lastFull := (addr+rec.Size)/chunk - 1
+		for slot := firstFull; slot <= lastFull; slot++ {
+			log.Punch(slot)
+		}
+		sys.ring.Delete(rec.FID, rec.Offset)
+		sys.nodeMeta[producer.c.rank.Node()].Delete(rec.Key())
+		if byTier := fs.cached[producer.c.server.GlobalIdx]; byTier != nil && byTier[tier] >= rec.Size {
+			byTier[tier] -= rec.Size
+			fs.cachedTotal -= rec.Size
+		}
+		removed++
+	}
+	// One metadata round-trip for the whole range delete.
+	sys.chargeMetaOp(cf.c.rank.P, cf.c.rank.Node(), sys.metaServer(sys.ring.HomeServer(off)))
+	return removed, nil
+}
+
+// Heat returns the access count of the segment starting at the given
+// logical offset.
+func (sys *System) Heat(name string, offset int64) int {
+	fs, ok := sys.files[name]
+	if !ok || fs.heat == nil {
+		return 0
+	}
+	return fs.heat[offset]
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"univistor/internal/kvstore"
+	"univistor/internal/meta"
+	"univistor/internal/sim"
+)
+
+// ReadAt reads [off, off+size) of the logical file, returning the payload
+// bytes (zero-filled where size-only writes carried no data).
+//
+// With the location-aware read service (§II-B4): portions whose metadata
+// sits in the node's shared metadata buffer are read straight from local
+// storage with no server hop; metadata for the rest is fetched by the
+// client directly from the owning metadata servers; segments on globally
+// visible tiers (BB, PFS) are retrieved directly from those devices; only
+// segments on a remote node's private tiers take a server round-trip.
+//
+// With the service disabled, every byte funnels through the co-located
+// server (an extra memory-copy leg) and remote-node data is relayed
+// server-to-server before reaching the client.
+func (cf *ClientFile) ReadAt(off, size int64) ([]byte, error) {
+	if cf.closed {
+		return nil, fmt.Errorf("core: read from closed file %q", cf.fs.name)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("core: read size %d must be positive", size)
+	}
+	c := cf.c
+	sys := c.sys
+	p := c.rank.P
+	fs := cf.fs
+	node := c.rank.Node()
+
+	la := sys.Cfg.LocationAwareRead
+	if !la {
+		// Request goes through the co-located server.
+		p.Sleep(sys.Cfg.ShmLatency)
+	}
+
+	// 1. Local shared metadata buffer: free lookups for local segments.
+	var localRecs []meta.Record
+	if la {
+		localRecs = kvstore.CoveringStore(sys.nodeMeta[node], fs.fid, off, size)
+	}
+	remainder := subtractCovered(off, size, localRecs)
+
+	// 2. Distributed lookups for the rest.
+	var remoteRecs []meta.Record
+	contacted := map[int]bool{}
+	for _, gap := range remainder {
+		recs, servers := sys.ring.Covering(fs.fid, gap.off, gap.size)
+		for _, srv := range servers {
+			if !contacted[srv] {
+				contacted[srv] = true
+				sys.chargeMetaOp(p, node, sys.metaServer(srv))
+			}
+		}
+		remoteRecs = append(remoteRecs, recs...)
+	}
+
+	// 3. Retrieve every overlapping segment portion.
+	for _, rec := range localRecs {
+		if err := cf.fetchSegment(p, rec, off, size, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, rec := range remoteRecs {
+		if err := cf.fetchSegment(p, rec, off, size, false); err != nil {
+			return nil, err
+		}
+	}
+
+	data, _ := fs.content.Read(off, size)
+	return data, nil
+}
+
+// fetchSegment charges the data-plane cost of retrieving the portion of a
+// segment overlapping the request.
+func (cf *ClientFile) fetchSegment(p *sim.Proc, rec meta.Record, off, size int64, localHit bool) error {
+	c := cf.c
+	sys := c.sys
+	fs := cf.fs
+	myNode := c.rank.Node()
+	la := sys.Cfg.LocationAwareRead
+
+	lo, hi := rec.Offset, rec.Offset+rec.Size
+	if lo < off {
+		lo = off
+	}
+	if hi > off+size {
+		hi = off + size
+	}
+	bytes := hi - lo
+	if bytes <= 0 {
+		return nil
+	}
+
+	producer := fs.procFiles[rec.Proc]
+	if producer == nil {
+		return fmt.Errorf("core: no producer handle for proc %d of %q", rec.Proc, fs.name)
+	}
+	tier, addr, err := producer.ls.Space().Decode(rec.VA)
+	if err != nil {
+		return err
+	}
+	// Address of the requested portion inside the producer's log.
+	addr += lo - rec.Offset
+	prodNode := producer.c.rank.Node()
+	prodServer := producer.c.server
+
+	// Heat tracking for proactive placement: count the access and promote
+	// the segment once it crosses the threshold.
+	if sys.Cfg.ProactivePlacement {
+		defer cf.trackHeat(p, rec, producer, tier)
+	}
+
+	if volatileTier(tier) && sys.failedNodes[prodNode] {
+		return cf.fetchFromReplicaOrPFS(p, producer, bytes)
+	}
+
+	switch tier {
+	case meta.TierDRAM, meta.TierLocalSSD:
+		if prodNode == myNode {
+			if la {
+				// Direct local read: no server in the path.
+				sys.stats.BytesReadLocal += bytes
+				p.Transfer(float64(bytes), c.rank.H.MemPath()...)
+			} else {
+				// Extra copy through the co-located server.
+				path := append([]*sim.Resource{c.rank.H.MemPort}, c.server.Rank.H.MemPath()...)
+				p.Transfer(float64(bytes), path...)
+			}
+			return nil
+		}
+		// Remote node-local segment: one round-trip via the producer-side
+		// server (§II-B3), plus a relay through the local server without
+		// the location-aware service.
+		sys.stats.BytesReadRemote += bytes
+		p.Sleep(sys.W.Cluster.Cfg.NetLatency)
+		path := append([]*sim.Resource{}, prodServer.Rank.H.MemPath()...)
+		path = append(path, sys.W.Cluster.NetPath(prodNode, myNode)...)
+		if !la {
+			path = append(path, c.server.Rank.H.MemPort)
+		}
+		path = append(path, c.rank.H.MemPort)
+		p.Transfer(float64(bytes), path...)
+		return nil
+
+	case meta.TierBB:
+		sys.stats.BytesReadShared += bytes
+		var extra []*sim.Resource
+		if !la {
+			extra = append(extra, c.server.Rank.H.MemPort)
+		}
+		extra = append(extra, c.rank.H.MemPort)
+		producer.bbLog.Read(p, myNode, addr, bytes, extra...)
+		return nil
+
+	case meta.TierPFS:
+		sys.stats.BytesReadShared += bytes
+		spill := producer.pfsLog
+		if spill == nil {
+			return fmt.Errorf("core: segment of %q on PFS but producer %d has no spill log", fs.name, rec.Proc)
+		}
+		var extra []*sim.Resource
+		if !la {
+			extra = append(extra, c.server.Rank.H.MemPort)
+		}
+		extra = append(extra, c.rank.H.MemPort)
+		spill.Read(p, myNode, addr, bytes, extra...)
+		return nil
+	}
+	return fmt.Errorf("core: unknown tier %v", tier)
+}
+
+type byteRange struct {
+	off  int64
+	size int64
+}
+
+// subtractCovered returns the sub-ranges of [off, off+size) not covered by
+// the records (which are sorted by offset, as CoveringStore guarantees).
+func subtractCovered(off, size int64, recs []meta.Record) []byteRange {
+	var gaps []byteRange
+	cur := off
+	end := off + size
+	for _, r := range recs {
+		rLo, rHi := r.Offset, r.Offset+r.Size
+		if rHi <= cur || rLo >= end {
+			continue
+		}
+		if rLo > cur {
+			gaps = append(gaps, byteRange{cur, rLo - cur})
+		}
+		if rHi > cur {
+			cur = rHi
+		}
+	}
+	if cur < end {
+		gaps = append(gaps, byteRange{cur, end - cur})
+	}
+	return gaps
+}

@@ -1,0 +1,56 @@
+package core
+
+// Operation statistics: the observability surface downstream users need to
+// understand where their bytes went and which services fired. Counters are
+// aggregated system-wide; per-file placement detail is available through
+// the metadata ring.
+
+import "univistor/internal/meta"
+
+// Stats is a snapshot of UniviStor's operation counters.
+type Stats struct {
+	// BytesWritten counts client-written bytes by the tier they landed on.
+	BytesWritten [meta.NumTiers]int64
+	// BytesReadLocal counts bytes served by the location-aware local path
+	// (no server hop).
+	BytesReadLocal int64
+	// BytesReadShared counts bytes read directly from shared tiers (BB,
+	// PFS spill logs).
+	BytesReadShared int64
+	// BytesReadRemote counts bytes fetched from a remote node's private
+	// tiers via a server round-trip.
+	BytesReadRemote int64
+	// BytesFlushed counts bytes moved to the PFS by the flush service.
+	BytesFlushed int64
+	// Flushes counts completed flush operations.
+	Flushes int64
+	// MetaOps counts metadata record operations (inserts and lookups).
+	MetaOps int64
+	// OpenOps counts file open/close server operations.
+	OpenOps int64
+	// Replications counts volatile-tier segments mirrored to buddy nodes.
+	Replications int64
+	// Promotions counts segments migrated to faster tiers by proactive
+	// placement.
+	Promotions int64
+	// Spills counts segments that could not be placed on the fastest
+	// configured tier.
+	Spills int64
+}
+
+// Stats returns a snapshot of the system's counters.
+func (sys *System) Stats() Stats { return sys.stats }
+
+// TotalBytesWritten sums writes across tiers.
+func (s Stats) TotalBytesWritten() int64 {
+	var n int64
+	for _, b := range s.BytesWritten {
+		n += b
+	}
+	return n
+}
+
+// TotalBytesRead sums the three read paths.
+func (s Stats) TotalBytesRead() int64 {
+	return s.BytesReadLocal + s.BytesReadShared + s.BytesReadRemote
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"univistor/internal/meta"
+	"univistor/internal/topology"
+)
+
+func TestStatsCountersTrackOperations(t *testing.T) {
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
+		cc.DRAMLogBytes = 2 * mib
+		cc.BBLogBytes = 8 * mib
+		cc.CacheTiers = []meta.Tier{meta.TierDRAM, meta.TierBB}
+	})
+	runApp(t, w, sys, 2, 1, func(c *Client) {
+		f, _ := c.Open("f", WriteOnly)
+		base := int64(c.Rank().Rank()) * 8 * mib
+		for i := int64(0); i < 4; i++ {
+			if err := f.WriteAt(base+i*mib, 1*mib, nil); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+		c.Rank().Barrier()
+		// Read own data (local) and the peer's (remote/BB).
+		f.ReadAt(base, 1*mib)
+		peer := int64(1-c.Rank().Rank()) * 8 * mib
+		f.ReadAt(peer, 1*mib)
+		c.Rank().Barrier()
+		f.Close()
+		sys.WaitFlush(c.Rank().P, "f")
+	})
+	st := sys.Stats()
+	if st.TotalBytesWritten() != 8*mib {
+		t.Errorf("bytes written = %d, want %d", st.TotalBytesWritten(), 8*mib)
+	}
+	if st.BytesWritten[meta.TierDRAM] != 4*mib || st.BytesWritten[meta.TierBB] != 4*mib {
+		t.Errorf("per-tier writes = %v (DRAM log is 2 MiB/proc)", st.BytesWritten)
+	}
+	if st.Spills != 4 { // two 1 MiB segments per rank overflowed to BB
+		t.Errorf("spills = %d, want 4", st.Spills)
+	}
+	if st.TotalBytesRead() != 4*mib {
+		t.Errorf("bytes read = %d, want %d", st.TotalBytesRead(), 4*mib)
+	}
+	if st.BytesReadLocal == 0 {
+		t.Error("no local reads counted")
+	}
+	if st.BytesFlushed != 8*mib || st.Flushes != 1 {
+		t.Errorf("flush stats = %d bytes, %d flushes", st.BytesFlushed, st.Flushes)
+	}
+	if st.MetaOps == 0 || st.OpenOps == 0 {
+		t.Errorf("op counters empty: %+v", st)
+	}
+}
+
+func TestStatsCountReplicationsAndPromotions(t *testing.T) {
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
+		cc.FlushOnClose = false
+		cc.ReplicateVolatile = true
+		cc.ProactivePlacement = true
+		cc.PromoteAfterReads = 1
+		cc.DRAMLogBytes = 2 * mib
+		cc.CacheTiers = []meta.Tier{meta.TierDRAM, meta.TierBB}
+	})
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f, _ := c.Open("f", WriteOnly)
+		f.WriteAt(0, 1*mib, nil)     // DRAM → replicated
+		f.WriteAt(1*mib, 2*mib, nil) // doesn't fit remaining DRAM → BB
+		// Heat the BB segment; DRAM has 1 MiB free but the segment is
+		// 2 MiB → promotion is attempted and skipped, then make room.
+		recs, _ := sys.Ring().Covering(f.FID(), 1*mib, 2*mib)
+		producer := sys.files["f"].procFiles[recs[0].Proc]
+		producer.ls.Log(meta.TierDRAM).Punch(0)
+		f.ReadAt(1*mib, 2*mib)
+		f.Close()
+	})
+	st := sys.Stats()
+	if st.Replications != 1 {
+		t.Errorf("replications = %d, want 1 (only the DRAM segment)", st.Replications)
+	}
+	if st.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1", st.Promotions)
+	}
+}

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"univistor/internal/bb"
+	"univistor/internal/extent"
+	"univistor/internal/kvstore"
+	"univistor/internal/lustre"
+	"univistor/internal/meta"
+	"univistor/internal/mpi"
+	"univistor/internal/sim"
+	"univistor/internal/striping"
+	"univistor/internal/workflow"
+)
+
+// System is one UniviStor deployment: the server parallel program running
+// on every compute node of the job, plus the shared state every client
+// library instance attaches to.
+type System struct {
+	W   *mpi.World
+	Cfg Config
+
+	BB  *bb.System // nil when the job has no burst-buffer allocation
+	PFS *lustre.FS
+	WF  *workflow.Manager
+
+	servers    []*Server
+	serverComm *mpi.Comm
+	ring       *kvstore.Ring
+	nodeMeta   []*kvstore.Store // per-node shared metadata buffer (§II-B4)
+	bbReadAgg  *sim.Resource    // aggregate BB read leg for flush pipelines
+
+	files          map[string]*fileState
+	nextFID        meta.FileID
+	clients        int
+	nodeFlushCount []int // flushing servers per node, for IA migration refcounts
+	nodeAppCount   map[string][]int
+	failedNodes    []bool // nodes whose volatile storage is gone
+	stats          Stats
+}
+
+// Server is one UniviStor server process.
+type Server struct {
+	sys       *System
+	Node      int
+	LocalIdx  int
+	GlobalIdx int
+	Rank      *mpi.Rank
+	// opsFree is the virtual time the server's metadata service next
+	// becomes idle: operations serialize analytically (an M/D/1-style
+	// queue) rather than as fluid flows, keeping the allocator out of the
+	// microsecond-scale control plane.
+	opsFree sim.Time
+}
+
+type fileState struct {
+	fid  meta.FileID
+	name string
+
+	logicalSize int64
+	content     extent.Map // authoritative payload bytes (empty in size-only runs)
+
+	writers int
+	readers int
+
+	// cached[serverGlobalIdx][tier] = bytes that server must flush.
+	cached      map[int]map[meta.Tier]int64
+	cachedTotal int64
+	procFiles   map[int]*ClientFile // producing proc (global client id) -> handle
+
+	flushing       bool
+	flushed        bool
+	flushRemaining int
+	flushStart     sim.Time
+	flushEnd       sim.Time
+	flushedBytes   int64
+	flushEv        sim.Event
+	pfsFile        *lustre.File
+
+	// reservations to release when the flush (or final close) retires the
+	// cached copies.
+	reservations []reservation
+
+	// heat counts reads per segment (keyed by logical offset) for the
+	// proactive-placement extension; promotions counts migrations done.
+	heat       map[int64]int
+	promotions int
+}
+
+type reservation struct {
+	node    int   // -1 for the shared BB pool
+	dram    int64 // bytes reserved on the node's DRAM pool
+	bbBytes int64 // bytes reserved on the BB pool
+}
+
+// NewSystem builds the UniviStor deployment and launches the server
+// program across all nodes of the cluster (the `univistor-server` job the
+// user starts before their applications). It returns an error on invalid
+// configuration; BB-tier caching is silently dropped when the cluster has
+// no burst-buffer allocation.
+func NewSystem(w *mpi.World, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := &System{
+		W:     w,
+		Cfg:   cfg,
+		PFS:   lustre.NewFS(w.Cluster),
+		files: map[string]*fileState{},
+	}
+	if len(w.Cluster.BB) > 0 {
+		bbs, err := bb.New(w.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		sys.BB = bbs
+		sys.bbReadAgg = sim.NewResource("bb-read-agg", bbs.AggregateBW())
+	} else if cfg.cachesTier(meta.TierBB) {
+		// Drop the BB tier rather than fail: the paper's UniviStor/DRAM
+		// mode runs without a BB allocation.
+		var tiers []meta.Tier
+		for _, t := range cfg.CacheTiers {
+			if t != meta.TierBB {
+				tiers = append(tiers, t)
+			}
+		}
+		sys.Cfg.CacheTiers = tiers
+	}
+	sys.WF = workflow.NewManager(w.Cluster.Cfg.PFSLatency)
+
+	nNodes := len(w.Cluster.Nodes)
+	nServers := nNodes * cfg.ServersPerNode
+	ringServers := nServers
+	if cfg.CentralMetadata {
+		ringServers = 1
+	}
+	sys.ring = kvstore.NewRing(ringServers, cfg.MetaRangeSize)
+	for n := 0; n < nNodes; n++ {
+		sys.nodeMeta = append(sys.nodeMeta, kvstore.NewStore(int64(7000+n)))
+	}
+	sys.nodeFlushCount = make([]int, nNodes)
+	sys.nodeAppCount = map[string][]int{}
+	sys.failedNodes = make([]bool, nNodes)
+
+	sys.servers = make([]*Server, nServers)
+	sys.serverComm = w.Launch("univistor-server", nServers, func(r *mpi.Rank) {
+		s := &Server{
+			sys:       sys,
+			Node:      r.Node(),
+			LocalIdx:  r.Rank() % cfg.ServersPerNode,
+			GlobalIdx: r.Rank(),
+			Rank:      r,
+		}
+		sys.servers[r.Rank()] = s
+		s.run(r)
+	}, mpi.LaunchOpts{RanksPerNode: cfg.ServersPerNode})
+	if cfg.InterferenceAware {
+		// Servers idle from the moment they are placed, so clients placed
+		// at job launch (before the engine first runs the server loops)
+		// already see their cores as borrowable (Fig. 4c).
+		for _, r := range sys.serverComm.Ranks() {
+			r.H.SetRunnable(false)
+		}
+	}
+	return sys, nil
+}
+
+// Servers returns the number of server processes.
+func (sys *System) Servers() int { return len(sys.servers) }
+
+// Ring exposes the distributed metadata ring (tests and tools).
+func (sys *System) Ring() *kvstore.Ring { return sys.ring }
+
+// run is a server's main loop: idle until a flush request or shutdown
+// arrives. With interference-aware scheduling the server parks quietly on
+// its dedicated core and does not degrade co-located clients; without it,
+// the server busy-polls for progress the way MPI services under CFS do,
+// competing for whatever core the OS stacked it on.
+func (s *Server) run(r *mpi.Rank) {
+	if s.sys.Cfg.InterferenceAware {
+		r.H.SetRunnable(false)
+	}
+	for {
+		msg := r.Recv()
+		switch msg.Tag {
+		case "shutdown":
+			return
+		case "flush":
+			s.doFlush(r, msg.Payload.(*flushReq))
+		default:
+			panic(fmt.Sprintf("core: server %d: unknown message %q", s.GlobalIdx, msg.Tag))
+		}
+	}
+}
+
+// Shutdown terminates the server program. Call after all client
+// applications have exited (the harness's stand-in for the automatic
+// connection-management teardown).
+func (sys *System) Shutdown() {
+	for _, s := range sys.servers {
+		s.Rank.Deliver(mpi.Msg{Tag: "shutdown"})
+	}
+}
+
+// fileByName returns (creating if asked) the registry entry for a logical
+// file.
+func (sys *System) fileByName(name string, create bool) (*fileState, error) {
+	if fs, ok := sys.files[name]; ok {
+		return fs, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("core: file %q does not exist", name)
+	}
+	sys.nextFID++
+	fs := &fileState{
+		fid:       sys.nextFID,
+		name:      name,
+		cached:    map[int]map[meta.Tier]int64{},
+		procFiles: map[int]*ClientFile{},
+	}
+	sys.files[name] = fs
+	return fs, nil
+}
+
+// homeServer hashes a file name onto the server owning its attributes.
+func (sys *System) homeServer(name string) *Server {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return sys.servers[int(h.Sum32())%len(sys.servers)]
+}
+
+// metaServer maps a metadata ring index onto the serving process.
+func (sys *System) metaServer(ringIdx int) *Server {
+	if sys.Cfg.CentralMetadata {
+		return sys.servers[0]
+	}
+	return sys.servers[ringIdx%len(sys.servers)]
+}
+
+// chargeMetaOp charges the cost of one metadata record operation from a
+// process on fromNode against the given server: transport latency (shared
+// memory when co-located, network otherwise) plus the serialized server
+// processing.
+func (sys *System) chargeMetaOp(p *sim.Proc, fromNode int, srv *Server) {
+	sys.stats.MetaOps++
+	sys.chargeOp(p, fromNode, srv, sys.Cfg.MetaOpTime)
+}
+
+// chargeOpenOp charges a file open/close request — heavier server work
+// that COC collapses to the root process.
+func (sys *System) chargeOpenOp(p *sim.Proc, fromNode int, srv *Server) {
+	sys.stats.OpenOps++
+	sys.chargeOp(p, fromNode, srv, sys.Cfg.OpenOpTime)
+}
+
+func (sys *System) chargeOp(p *sim.Proc, fromNode int, srv *Server, opTime float64) {
+	lat := sys.W.Cluster.Cfg.NetLatency
+	if srv.Node == fromNode {
+		lat = sys.Cfg.ShmLatency
+	}
+	// Serialized service: the request arrives after the transport latency,
+	// waits for the server's queue to drain, then holds the server for
+	// opTime.
+	arrival := p.Now() + sim.Time(lat)
+	start := arrival
+	if srv.opsFree > start {
+		start = srv.opsFree
+	}
+	srv.opsFree = start + sim.Time(opTime)
+	p.Sleep(float64(srv.opsFree - p.Now()))
+}
+
+// ---------------------------------------------------------------------------
+// Server-side asynchronous flush (§II-D).
+
+type flushReq struct {
+	fs *fileState
+	// rangeOff/rangeLen: the server's contiguous range of the flush file.
+	rangeOff int64
+	rangeLen int64
+	// source bytes per tier for the read leg of the pipeline.
+	tierBytes map[meta.Tier]int64
+}
+
+// triggerFlush builds the striping plan for the file's cached bytes and
+// dispatches per-server flush requests. Called from the closing root
+// client's process context; the flush itself runs in the server processes.
+func (sys *System) triggerFlush(p *sim.Proc, fs *fileState) {
+	if fs.flushing || fs.cachedTotal == 0 {
+		return
+	}
+	// Flushing servers, in global order.
+	var flushers []int
+	for idx, tiers := range fs.cached {
+		total := int64(0)
+		for _, b := range tiers {
+			total += b
+		}
+		if total > 0 {
+			flushers = append(flushers, idx)
+		}
+	}
+	if len(flushers) == 0 {
+		return
+	}
+	sort.Ints(flushers)
+
+	total := fs.cachedTotal
+	cfg := sys.W.Cluster.Cfg
+	policy := "stripe-all"
+	if sys.Cfg.AdaptiveStriping {
+		policy = "adaptive"
+	}
+	if sys.Cfg.FlushStripingOverride != "" {
+		policy = sys.Cfg.FlushStripingOverride
+	}
+	var spec lustre.StripeSpec
+	lockEff := 1.0
+	switch policy {
+	case "adaptive":
+		plan, err := striping.Adaptive(striping.Params{
+			MaxUnits:  sys.PFS.OSTCount(),
+			Servers:   len(flushers),
+			Alpha:     sys.Cfg.Alpha,
+			FileSize:  total,
+			MaxStripe: cfg.MaxStripeSize,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: striping plan: %v", err))
+		}
+		spec = lustre.StripeSpec{Size: plan.StripeSize, Count: plan.StripeCount, StartOST: 0}
+	case "eq5":
+		// Eq. 5 without the dummy-server correction: each server's range
+		// is one stripe, assigned to OSTs round-robin; when the server
+		// count is not a multiple of the OST count, the overloaded OSTs
+		// straggle.
+		stripe := (total + int64(len(flushers)) - 1) / int64(len(flushers))
+		if stripe < 1 {
+			stripe = 1
+		}
+		count := len(flushers)
+		if count > sys.PFS.OSTCount() {
+			count = sys.PFS.OSTCount()
+		}
+		spec = lustre.StripeSpec{Size: stripe, Count: count, StartOST: 0}
+	case "stripe-all":
+		// Conventional layout: default stripe size across every OST, with
+		// extent-lock contention on the shared flush file.
+		spec = lustre.StripeSpec{Size: 1 << 20, Count: sys.PFS.OSTCount(), StartOST: 0}
+		lockEff = sys.Cfg.StripeAllLockEff
+	}
+	pfsFile, err := sys.PFS.Create("flush:"+fs.name, spec, lockEff)
+	if err != nil {
+		panic(fmt.Sprintf("core: creating flush file: %v", err))
+	}
+	fs.pfsFile = pfsFile
+	fs.flushing = true
+	fs.flushRemaining = len(flushers)
+	fs.flushStart = p.Now()
+	if sys.Cfg.Workflow {
+		sys.WF.BeginFlush(p, fs.name)
+	}
+
+	// Each flusher gets a contiguous, even range of the flush file.
+	per := total / int64(len(flushers))
+	rem := total % int64(len(flushers))
+	off := int64(0)
+	for i, idx := range flushers {
+		length := per
+		if int64(i) < rem {
+			length++
+		}
+		req := &flushReq{fs: fs, rangeOff: off, rangeLen: length,
+			tierBytes: fs.cached[idx]}
+		off += length
+		srv := sys.servers[idx]
+		// The trigger costs one small message per server.
+		p.Sleep(cfg.NetLatency)
+		srv.Rank.Deliver(mpi.Msg{Tag: "flush", Payload: req})
+	}
+}
+
+// doFlush is the server-side flush of one contiguous range: a pipelined
+// read-from-cache, write-to-PFS transfer per tier.
+func (s *Server) doFlush(r *mpi.Rank, req *flushReq) {
+	sys := s.sys
+	r.H.SetRunnable(true)
+	if sys.Cfg.InterferenceAware {
+		sys.nodeFlushCount[s.Node]++
+		if sys.nodeFlushCount[s.Node] == 1 {
+			sys.W.Sched.BeginFlush(s.Node, "univistor-server")
+		}
+	}
+
+	remaining := req.rangeLen
+	// Flush tier by tier, fastest first; the range split across tiers
+	// mirrors the cached byte counts.
+	for _, tier := range []meta.Tier{meta.TierDRAM, meta.TierLocalSSD, meta.TierBB, meta.TierPFS} {
+		bytes := req.tierBytes[tier]
+		if bytes <= 0 {
+			continue
+		}
+		if bytes > remaining {
+			bytes = remaining
+		}
+		var readLeg []*sim.Resource
+		switch tier {
+		case meta.TierDRAM:
+			readLeg = r.H.MemPath()
+		case meta.TierLocalSSD:
+			if ssd := sys.W.Cluster.Nodes[s.Node].SSDBW; ssd != nil {
+				readLeg = []*sim.Resource{ssd}
+			}
+		case meta.TierBB:
+			readLeg = []*sim.Resource{sys.bbReadAgg, sys.W.Cluster.Fabric}
+		case meta.TierPFS:
+			// Already on the PFS (spilled there); nothing to move.
+			remaining -= bytes
+			continue
+		}
+		if err := req.fs.pfsFile.Write(r.P, s.Node, req.rangeOff+(req.rangeLen-remaining), bytes, readLeg...); err != nil {
+			panic(fmt.Sprintf("core: flush write: %v", err))
+		}
+		remaining -= bytes
+	}
+
+	if sys.Cfg.InterferenceAware {
+		sys.nodeFlushCount[s.Node]--
+		if sys.nodeFlushCount[s.Node] == 0 {
+			sys.W.Sched.EndFlush(s.Node, "univistor-server")
+		}
+		r.H.SetRunnable(false) // back to quiet event-driven idling
+	}
+	s.finishFlushPart(r, req.fs)
+}
+
+// finishFlushPart retires one server's share; the last server completes the
+// flush: timestamps, capacity release, workflow unlock.
+func (s *Server) finishFlushPart(r *mpi.Rank, fs *fileState) {
+	sys := s.sys
+	fs.flushRemaining--
+	if fs.flushRemaining > 0 {
+		return
+	}
+	fs.flushing = false
+	fs.flushed = true
+	fs.flushEnd = r.P.Now()
+	fs.flushedBytes = fs.cachedTotal
+	sys.stats.BytesFlushed += fs.cachedTotal
+	sys.stats.Flushes++
+	// The flush persists the data; the cached copies REMAIN valid (the
+	// logs are a cache, not a buffer — post-flush reads still hit the fast
+	// tiers), so log reservations are not released. Only the
+	// pending-flush accounting resets.
+	fs.cachedTotal = 0
+	fs.cached = map[int]map[meta.Tier]int64{}
+	if sys.Cfg.Workflow {
+		sys.WF.EndFlush(r.P, fs.name)
+	}
+	fs.flushEv.Set()
+}
+
+// releaseBB returns bytes to the BB pool, spread like the reservation was.
+func (sys *System) releaseBB(bytes int64) {
+	nodes := sys.W.Cluster.BB
+	per := bytes / int64(len(nodes))
+	rem := bytes - per*int64(len(nodes))
+	for i, n := range nodes {
+		b := per
+		if int64(i) < rem {
+			b++
+		}
+		if b > n.Cap.Used() {
+			b = n.Cap.Used()
+		}
+		n.Cap.Release(b)
+	}
+}
+
+// reserveBB takes bytes from the BB pool, spread evenly; it returns the
+// bytes actually reserved (shrinking when the pool is low).
+func (sys *System) reserveBB(bytes int64) int64 {
+	if sys.BB == nil || bytes <= 0 {
+		return 0
+	}
+	nodes := sys.W.Cluster.BB
+	per := bytes / int64(len(nodes))
+	rem := bytes - per*int64(len(nodes))
+	var got int64
+	for i, n := range nodes {
+		b := per
+		if int64(i) < rem {
+			b++
+		}
+		if free := n.Cap.Free(); b > free {
+			b = free
+		}
+		if b > 0 && n.Cap.Alloc(b) {
+			got += b
+		}
+	}
+	return got
+}
+
+// WaitFlush blocks the process until the file's pending flush completes.
+// It returns immediately if no flush is outstanding.
+func (sys *System) WaitFlush(p *sim.Proc, name string) {
+	fs, ok := sys.files[name]
+	if !ok || (!fs.flushing && fs.flushRemaining == 0) {
+		return
+	}
+	fs.flushEv.Wait(p)
+}
+
+// FlushStats reports the last completed flush of the file: bytes moved and
+// the start/end virtual times.
+func (sys *System) FlushStats(name string) (bytes int64, start, end sim.Time, ok bool) {
+	fs, found := sys.files[name]
+	if !found || !fs.flushed {
+		return 0, 0, 0, false
+	}
+	return fs.flushedBytes, fs.flushStart, fs.flushEnd, true
+}
+
+// FileSize returns the logical size of a file in the unified namespace.
+func (sys *System) FileSize(name string) (int64, bool) {
+	fs, ok := sys.files[name]
+	if !ok {
+		return 0, false
+	}
+	return fs.logicalSize, true
+}
+
+// CachedBytes returns the bytes currently cached (unflushed) for the file.
+func (sys *System) CachedBytes(name string) int64 {
+	fs, ok := sys.files[name]
+	if !ok {
+		return 0
+	}
+	return fs.cachedTotal
+}

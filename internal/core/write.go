@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"univistor/internal/meta"
+	"univistor/internal/sim"
+)
+
+// WriteAt writes one segment of the logical file at the given offset. data
+// may be nil for size-only (benchmark-scale) runs; when present its length
+// must equal size. The segment is placed by DHP: appended to the fastest
+// per-process log with room, spilling tier by tier (§II-B1), with its
+// metadata record inserted into the distributed metadata service (§II-B3).
+func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
+	if cf.mode != WriteOnly {
+		return fmt.Errorf("core: write to %q opened for %s", cf.fs.name, cf.mode)
+	}
+	if cf.closed {
+		return fmt.Errorf("core: write to closed file %q", cf.fs.name)
+	}
+	if size <= 0 {
+		return fmt.Errorf("core: write size %d must be positive", size)
+	}
+	if data != nil && int64(len(data)) != size {
+		return fmt.Errorf("core: payload length %d != size %d", len(data), size)
+	}
+	if size > cf.c.sys.Cfg.MetaRangeSize {
+		return fmt.Errorf("core: segment size %d exceeds MetaRangeSize %d; split the write",
+			size, cf.c.sys.Cfg.MetaRangeSize)
+	}
+
+	c := cf.c
+	sys := c.sys
+	p := c.rank.P
+
+	// Hand the request to the co-located server over shared memory.
+	p.Sleep(sys.Cfg.ShmLatency)
+
+	va, tier, err := cf.ls.Append(size, nil, meta.TierPFS)
+	if err != nil {
+		return err
+	}
+	_, addr, err := cf.ls.Space().Decode(va)
+	if err != nil {
+		return err
+	}
+
+	// Data-plane cost: where did the segment land?
+	srvPort := c.server.Rank.H.MemPort
+	switch tier {
+	case meta.TierDRAM:
+		// Client buffer → shared-memory log: both the client's and the
+		// server's core ports plus the server's NUMA memory port.
+		path := append([]*sim.Resource{c.rank.H.MemPort},
+			c.server.Rank.H.MemPath()...)
+		p.Transfer(float64(size), path...)
+	case meta.TierLocalSSD:
+		path := []*sim.Resource{c.rank.H.MemPort, srvPort}
+		if ssd := sys.W.Cluster.Nodes[c.rank.Node()].SSDBW; ssd != nil {
+			path = append(path, ssd)
+		}
+		p.Transfer(float64(size), path...)
+	case meta.TierBB:
+		if err := cf.bbLog.Write(p, c.rank.Node(), addr, size, srvPort); err != nil {
+			return err
+		}
+	case meta.TierPFS:
+		spill, err := cf.pfsSpillLog()
+		if err != nil {
+			return err
+		}
+		if err := spill.Write(p, c.rank.Node(), addr, size, srvPort); err != nil {
+			return err
+		}
+	}
+	if sys.Cfg.ReplicateVolatile && volatileTier(tier) {
+		sys.replicate(p, c, size)
+	}
+
+	// Metadata record: logical offset → (source proc, VA).
+	rec := meta.Record{FID: cf.fs.fid, Offset: off, Size: size, Proc: c.globalID, VA: va}
+	ringIdx := sys.ring.HomeServer(off)
+	sys.chargeMetaOp(p, c.rank.Node(), sys.metaServer(ringIdx))
+	sys.ring.Put(rec)
+	// Shared metadata buffer on the producing node (§II-B4): free local
+	// lookup for locally generated segments.
+	sys.nodeMeta[c.rank.Node()].Put(rec)
+
+	// Bookkeeping.
+	if data != nil {
+		cf.fs.content.Write(off, data)
+	}
+	if end := off + size; end > cf.fs.logicalSize {
+		cf.fs.logicalSize = end
+	}
+	byTier := cf.fs.cached[c.server.GlobalIdx]
+	if byTier == nil {
+		byTier = map[meta.Tier]int64{}
+		cf.fs.cached[c.server.GlobalIdx] = byTier
+	}
+	byTier[tier] += size
+	cf.fs.cachedTotal += size
+	cf.written += size
+	sys.stats.BytesWritten[tier] += size
+	if len(sys.Cfg.CacheTiers) > 0 && tier != sys.Cfg.CacheTiers[0] {
+		sys.stats.Spills++
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package extent provides a sparse byte map: non-overlapping extents of
+// payload bytes keyed by offset. The performance models treat data as sized
+// flows; functional correctness (read-your-writes through caches, spills,
+// and flushes) is carried by extent maps holding the actual bytes.
+package extent
+
+import (
+	"fmt"
+	"sort"
+)
+
+type ext struct {
+	off  int64
+	data []byte
+}
+
+// Map is a sparse, mutable byte map. The zero value is ready to use.
+// Overlapping writes overwrite; reads of unwritten bytes return zeros.
+type Map struct {
+	exts []ext // sorted by off, non-overlapping
+}
+
+// Len returns the number of stored extents (diagnostic).
+func (m *Map) Len() int { return len(m.exts) }
+
+// Bytes returns the total payload bytes held.
+func (m *Map) Bytes() int64 {
+	var n int64
+	for _, e := range m.exts {
+		n += int64(len(e.data))
+	}
+	return n
+}
+
+// HighWater returns one past the last written byte, or 0 when empty.
+func (m *Map) HighWater() int64 {
+	if len(m.exts) == 0 {
+		return 0
+	}
+	last := m.exts[len(m.exts)-1]
+	return last.off + int64(len(last.data))
+}
+
+// Write stores data at off, overwriting any overlap. A nil or empty payload
+// is a no-op.
+func (m *Map) Write(off int64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	if off < 0 {
+		panic(fmt.Sprintf("extent: negative offset %d", off))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	end := off + int64(len(buf))
+
+	var out []ext
+	inserted := false
+	for _, e := range m.exts {
+		eEnd := e.off + int64(len(e.data))
+		switch {
+		case eEnd <= off || e.off >= end:
+			// No overlap; keep, inserting the new extent in order.
+			if !inserted && e.off >= end {
+				out = append(out, ext{off, buf})
+				inserted = true
+			}
+			out = append(out, e)
+		default:
+			// Overlap: keep the non-overlapped head/tail pieces.
+			if e.off < off {
+				out = append(out, ext{e.off, e.data[:off-e.off]})
+			}
+			if !inserted {
+				out = append(out, ext{off, buf})
+				inserted = true
+			}
+			if eEnd > end {
+				out = append(out, ext{end, e.data[end-e.off:]})
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, ext{off, buf})
+	}
+	m.exts = out
+}
+
+// Read returns size bytes starting at off; unwritten gaps read as zeros.
+// The second result reports whether any written byte fell in the range;
+// when none did, Read returns (nil, false) without allocating — critical
+// for size-only simulation runs that read terabytes of phantom data.
+func (m *Map) Read(off, size int64) ([]byte, bool) {
+	if size < 0 || off < 0 {
+		panic(fmt.Sprintf("extent: invalid read [%d, %d)", off, off+size))
+	}
+	end := off + size
+	i := sort.Search(len(m.exts), func(i int) bool {
+		return m.exts[i].off+int64(len(m.exts[i].data)) > off
+	})
+	if i >= len(m.exts) || m.exts[i].off >= end {
+		return nil, false
+	}
+	out := make([]byte, size)
+	any := false
+	for ; i < len(m.exts) && m.exts[i].off < end; i++ {
+		e := m.exts[i]
+		lo, hi := e.off, e.off+int64(len(e.data))
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		copy(out[lo-off:hi-off], e.data[lo-e.off:hi-e.off])
+		any = true
+	}
+	return out, any
+}
+
+// Covered reports whether every byte of [off, off+size) has been written.
+func (m *Map) Covered(off, size int64) bool {
+	end := off + size
+	cur := off
+	i := sort.Search(len(m.exts), func(i int) bool {
+		return m.exts[i].off+int64(len(m.exts[i].data)) > off
+	})
+	for ; i < len(m.exts) && cur < end; i++ {
+		e := m.exts[i]
+		if e.off > cur {
+			return false
+		}
+		if eEnd := e.off + int64(len(e.data)); eEnd > cur {
+			cur = eEnd
+		}
+	}
+	return cur >= end
+}
+
+// Clear drops all extents.
+func (m *Map) Clear() { m.exts = nil }

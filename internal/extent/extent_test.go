@@ -1,0 +1,148 @@
+package extent
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBasic(t *testing.T) {
+	var m Map
+	m.Write(10, []byte("hello"))
+	got, any := m.Read(10, 5)
+	if !any || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Read = %q, %v", got, any)
+	}
+}
+
+func TestGapsReadAsZeros(t *testing.T) {
+	var m Map
+	m.Write(5, []byte("ab"))
+	got, any := m.Read(0, 10)
+	want := []byte{0, 0, 0, 0, 0, 'a', 'b', 0, 0, 0}
+	if !any || !bytes.Equal(got, want) {
+		t.Errorf("Read = %v", got)
+	}
+	if _, any := m.Read(100, 5); any {
+		t.Error("read of untouched range reported data")
+	}
+}
+
+func TestOverwriteMiddle(t *testing.T) {
+	var m Map
+	m.Write(0, []byte("aaaaaaaaaa"))
+	m.Write(3, []byte("BBB"))
+	got, _ := m.Read(0, 10)
+	if !bytes.Equal(got, []byte("aaaBBBaaaa")) {
+		t.Errorf("Read = %q", got)
+	}
+	if m.Len() != 3 {
+		t.Errorf("extents = %d, want 3 (head, new, tail)", m.Len())
+	}
+}
+
+func TestOverwriteSpanningMultipleExtents(t *testing.T) {
+	var m Map
+	m.Write(0, []byte("aaa"))
+	m.Write(5, []byte("bbb"))
+	m.Write(10, []byte("ccc"))
+	m.Write(2, []byte("XXXXXXXXX")) // [2,11)
+	got, _ := m.Read(0, 13)
+	if !bytes.Equal(got, []byte("aaXXXXXXXXXcc")) {
+		t.Errorf("Read = %q", got)
+	}
+}
+
+func TestCovered(t *testing.T) {
+	var m Map
+	m.Write(0, []byte("aaaa"))
+	m.Write(4, []byte("bbbb"))
+	if !m.Covered(0, 8) {
+		t.Error("contiguous extents not reported covered")
+	}
+	if !m.Covered(2, 4) {
+		t.Error("interior range not covered")
+	}
+	m.Write(10, []byte("c"))
+	if m.Covered(0, 11) {
+		t.Error("range with gap reported covered")
+	}
+	if m.Covered(8, 2) {
+		t.Error("unwritten range reported covered")
+	}
+}
+
+func TestHighWaterAndBytes(t *testing.T) {
+	var m Map
+	if m.HighWater() != 0 {
+		t.Error("empty high water non-zero")
+	}
+	m.Write(100, []byte("xyz"))
+	if m.HighWater() != 103 {
+		t.Errorf("HighWater = %d, want 103", m.HighWater())
+	}
+	if m.Bytes() != 3 {
+		t.Errorf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestWriteDoesNotAliasCaller(t *testing.T) {
+	var m Map
+	buf := []byte("abc")
+	m.Write(0, buf)
+	buf[0] = 'Z'
+	got, _ := m.Read(0, 3)
+	if got[0] != 'a' {
+		t.Error("map aliased the caller's buffer")
+	}
+}
+
+// Property: the map agrees with a flat reference buffer under random writes.
+func TestMatchesReferenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m Map
+		ref := make([]byte, 500)
+		for i := 0; i < 100; i++ {
+			off := int64(rng.Intn(400))
+			size := rng.Intn(80) + 1
+			data := make([]byte, size)
+			rng.Read(data)
+			m.Write(off, data)
+			copy(ref[off:off+int64(size)], data)
+		}
+		for q := 0; q < 50; q++ {
+			off := int64(rng.Intn(480))
+			size := int64(rng.Intn(100) + 1)
+			if off+size > 500 {
+				size = 500 - off
+			}
+			got, any := m.Read(off, size)
+			if !any {
+				// No-overlap reads return nil; the reference range must
+				// then be untouched (all zeros).
+				for _, b := range ref[off : off+size] {
+					if b != 0 {
+						return false
+					}
+				}
+				continue
+			}
+			if !bytes.Equal(got, ref[off:off+size]) {
+				return false
+			}
+		}
+		// Extents stay sorted and non-overlapping.
+		for i := 1; i < len(m.exts); i++ {
+			prev := m.exts[i-1]
+			if prev.off+int64(len(prev.data)) > m.exts[i].off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

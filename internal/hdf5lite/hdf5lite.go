@@ -1,0 +1,260 @@
+// Package hdf5lite is a minimal HDF5-flavoured container layered on the
+// MPI-IO File abstraction: a fixed metadata region at the head of the file
+// holds a serialized dataset table (superblock + object headers, in HDF5
+// terms), and dataset elements live in contiguous extents behind it.
+//
+// It reproduces the two HDF5 behaviours the paper depends on:
+//
+//   - the shared-file layout scientific applications actually write
+//     (VPIC-IO: eight particle-property datasets in one shared file);
+//
+//   - metadata-region traffic at dataset create/open and file close, which
+//     is all-ranks-to-one-region without the collective optimization and
+//     root-plus-broadcast with it (§II-F).
+package hdf5lite
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"univistor/internal/mpi"
+	"univistor/internal/mpiio"
+)
+
+// MetaRegionSize is the reserved metadata region at the file head.
+const MetaRegionSize = 64 << 10
+
+var magic = [4]byte{'H', '5', 'L', 'T'}
+
+// DatasetInfo describes one dataset in the table.
+type DatasetInfo struct {
+	Name     string
+	ElemSize int64
+	Count    int64 // total elements across all ranks
+	Offset   int64 // byte offset of element 0 in the file
+}
+
+// File is an open hdf5lite container.
+type File struct {
+	f          mpiio.File
+	r          *mpi.Rank
+	collective bool
+	mode       mpiio.Mode
+	table      []DatasetInfo
+	nextOff    int64
+	dirty      bool
+	closed     bool
+}
+
+// Create starts a new container on a write-mode MPI file. With collective
+// set, only the root performs metadata-region I/O and broadcasts the table;
+// otherwise every rank reads/writes the metadata region itself.
+func Create(r *mpi.Rank, f mpiio.File, collective bool) *File {
+	return &File{f: f, r: r, collective: collective, mode: mpiio.WriteOnly, nextOff: MetaRegionSize}
+}
+
+// Open loads the dataset table of an existing container from a read-mode
+// MPI file.
+func Open(r *mpi.Rank, f mpiio.File, collective bool) (*File, error) {
+	h := &File{f: f, r: r, collective: collective, mode: mpiio.ReadOnly}
+	var raw []byte
+	if collective {
+		if r.Rank() == 0 {
+			data, err := f.ReadAt(0, MetaRegionSize)
+			if err != nil {
+				return nil, err
+			}
+			raw = data
+		}
+		got := r.Bcast(0, MetaRegionSize, raw)
+		raw = got.([]byte)
+	} else {
+		data, err := f.ReadAt(0, MetaRegionSize)
+		if err != nil {
+			return nil, err
+		}
+		raw = data
+	}
+	table, next, err := decodeTable(raw)
+	if err != nil {
+		return nil, err
+	}
+	h.table = table
+	h.nextOff = next
+	return h, nil
+}
+
+// CreateDataset appends a dataset of count elements of elemSize bytes and
+// returns its handle. Collective: all ranks must call with the same
+// arguments.
+func (h *File) CreateDataset(name string, elemSize, count int64) (*Dataset, error) {
+	if h.mode != mpiio.WriteOnly {
+		return nil, fmt.Errorf("hdf5lite: CreateDataset on read-only file")
+	}
+	if elemSize <= 0 || count <= 0 {
+		return nil, fmt.Errorf("hdf5lite: dataset %q needs positive elemSize and count", name)
+	}
+	if len(name) == 0 || len(name) > 255 {
+		return nil, fmt.Errorf("hdf5lite: dataset name length %d outside [1,255]", len(name))
+	}
+	for _, d := range h.table {
+		if d.Name == name {
+			return nil, fmt.Errorf("hdf5lite: dataset %q already exists", name)
+		}
+	}
+	info := DatasetInfo{Name: name, ElemSize: elemSize, Count: count, Offset: h.nextOff}
+	h.table = append(h.table, info)
+	h.nextOff += elemSize * count
+	h.dirty = true
+	if err := h.writeMeta(); err != nil {
+		return nil, err
+	}
+	return &Dataset{h: h, info: info}, nil
+}
+
+// OpenDataset returns a handle on an existing dataset.
+func (h *File) OpenDataset(name string) (*Dataset, error) {
+	for _, d := range h.table {
+		if d.Name == name {
+			return &Dataset{h: h, info: d}, nil
+		}
+	}
+	return nil, fmt.Errorf("hdf5lite: no dataset %q", name)
+}
+
+// Datasets returns the dataset table.
+func (h *File) Datasets() []DatasetInfo {
+	out := make([]DatasetInfo, len(h.table))
+	copy(out, h.table)
+	return out
+}
+
+// writeMeta persists the dataset table into the metadata region. Without
+// the collective optimization every rank writes the region (all-to-one
+// traffic at the region's home); with it, only the root does.
+func (h *File) writeMeta() error {
+	raw, err := encodeTable(h.table, h.nextOff)
+	if err != nil {
+		return err
+	}
+	if h.collective {
+		if h.r.Rank() == 0 {
+			if err := h.f.WriteAt(0, MetaRegionSize, raw); err != nil {
+				return err
+			}
+		}
+		h.r.Bcast(0, 64, nil) // completion notification
+		return nil
+	}
+	return h.f.WriteAt(0, MetaRegionSize, raw)
+}
+
+// Close flushes the metadata region (write mode) and closes the MPI file.
+func (h *File) Close() error {
+	if h.closed {
+		return fmt.Errorf("hdf5lite: double close")
+	}
+	h.closed = true
+	if h.mode == mpiio.WriteOnly && h.dirty {
+		if err := h.writeMeta(); err != nil {
+			return err
+		}
+	}
+	return h.f.Close()
+}
+
+// Dataset is a handle on one dataset.
+type Dataset struct {
+	h    *File
+	info DatasetInfo
+}
+
+// Info returns the dataset's table entry.
+func (d *Dataset) Info() DatasetInfo { return d.info }
+
+// WriteElems writes count elements starting at element index elemOff. data
+// may be nil for size-only runs.
+func (d *Dataset) WriteElems(elemOff, count int64, data []byte) error {
+	if elemOff < 0 || elemOff+count > d.info.Count {
+		return fmt.Errorf("hdf5lite: elements [%d,%d) outside dataset %q of %d",
+			elemOff, elemOff+count, d.info.Name, d.info.Count)
+	}
+	return d.h.f.WriteAt(d.info.Offset+elemOff*d.info.ElemSize, count*d.info.ElemSize, data)
+}
+
+// ReadElems reads count elements starting at element index elemOff.
+func (d *Dataset) ReadElems(elemOff, count int64) ([]byte, error) {
+	if elemOff < 0 || elemOff+count > d.info.Count {
+		return nil, fmt.Errorf("hdf5lite: elements [%d,%d) outside dataset %q of %d",
+			elemOff, elemOff+count, d.info.Name, d.info.Count)
+	}
+	return d.h.f.ReadAt(d.info.Offset+elemOff*d.info.ElemSize, count*d.info.ElemSize)
+}
+
+// ---------------------------------------------------------------------------
+// Table serialization.
+
+func encodeTable(table []DatasetInfo, nextOff int64) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	if err := binary.Write(&buf, binary.LittleEndian, int64(len(table))); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, nextOff); err != nil {
+		return nil, err
+	}
+	for _, d := range table {
+		if err := binary.Write(&buf, binary.LittleEndian, uint8(len(d.Name))); err != nil {
+			return nil, err
+		}
+		buf.WriteString(d.Name)
+		for _, v := range []int64{d.ElemSize, d.Count, d.Offset} {
+			if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if buf.Len() > MetaRegionSize {
+		return nil, fmt.Errorf("hdf5lite: dataset table (%d bytes) exceeds metadata region", buf.Len())
+	}
+	out := make([]byte, MetaRegionSize)
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+func decodeTable(raw []byte) (table []DatasetInfo, nextOff int64, err error) {
+	if len(raw) < 20 || !bytes.Equal(raw[:4], magic[:]) {
+		return nil, 0, fmt.Errorf("hdf5lite: bad magic — not an hdf5lite file")
+	}
+	rd := bytes.NewReader(raw[4:])
+	var n int64
+	if err := binary.Read(rd, binary.LittleEndian, &n); err != nil {
+		return nil, 0, err
+	}
+	if err := binary.Read(rd, binary.LittleEndian, &nextOff); err != nil {
+		return nil, 0, err
+	}
+	if n < 0 || n > 1<<12 {
+		return nil, 0, fmt.Errorf("hdf5lite: implausible dataset count %d", n)
+	}
+	for i := int64(0); i < n; i++ {
+		var nameLen uint8
+		if err := binary.Read(rd, binary.LittleEndian, &nameLen); err != nil {
+			return nil, 0, err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := rd.Read(nameBuf); err != nil {
+			return nil, 0, err
+		}
+		var d DatasetInfo
+		d.Name = string(nameBuf)
+		for _, p := range []*int64{&d.ElemSize, &d.Count, &d.Offset} {
+			if err := binary.Read(rd, binary.LittleEndian, p); err != nil {
+				return nil, 0, err
+			}
+		}
+		table = append(table, d)
+	}
+	return table, nextOff, nil
+}

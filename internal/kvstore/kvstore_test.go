@@ -1,0 +1,252 @@
+package kvstore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"univistor/internal/meta"
+)
+
+func rec(fid meta.FileID, off, size int64, proc int) meta.Record {
+	return meta.Record{FID: fid, Offset: off, Size: size, Proc: proc, VA: off * 10}
+}
+
+func TestStorePutGetDelete(t *testing.T) {
+	s := NewStore(1)
+	s.Put(rec(1, 100, 10, 7))
+	got, ok := s.Get(meta.Key{FID: 1, Offset: 100})
+	if !ok || got.Proc != 7 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := s.Get(meta.Key{FID: 1, Offset: 101}); ok {
+		t.Error("Get of absent key succeeded")
+	}
+	// Replace.
+	s.Put(rec(1, 100, 10, 9))
+	got, _ = s.Get(meta.Key{FID: 1, Offset: 100})
+	if got.Proc != 9 || s.Len() != 1 {
+		t.Errorf("replace failed: %+v len=%d", got, s.Len())
+	}
+	if !s.Delete(meta.Key{FID: 1, Offset: 100}) {
+		t.Error("Delete of present key failed")
+	}
+	if s.Delete(meta.Key{FID: 1, Offset: 100}) {
+		t.Error("Delete of absent key succeeded")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after delete", s.Len())
+	}
+}
+
+func TestStoreOrderedScanAndFloor(t *testing.T) {
+	s := NewStore(2)
+	for _, off := range []int64{50, 10, 30, 20, 40} {
+		s.Put(rec(1, off, 5, 0))
+	}
+	s.Put(rec(2, 15, 5, 0)) // other file
+	var offs []int64
+	s.Scan(meta.Key{FID: 1, Offset: 15}, meta.Key{FID: 1, Offset: 45}, func(r meta.Record) bool {
+		offs = append(offs, r.Offset)
+		return true
+	})
+	want := []int64{20, 30, 40}
+	if len(offs) != 3 || offs[0] != 20 || offs[1] != 30 || offs[2] != 40 {
+		t.Errorf("Scan = %v, want %v", offs, want)
+	}
+	f, ok := s.Floor(meta.Key{FID: 1, Offset: 35})
+	if !ok || f.Offset != 30 {
+		t.Errorf("Floor(35) = %+v, want offset 30", f)
+	}
+	f, ok = s.Floor(meta.Key{FID: 1, Offset: 10})
+	if !ok || f.Offset != 10 {
+		t.Errorf("Floor(10) = %+v, want exact match", f)
+	}
+	if _, ok := s.Floor(meta.Key{FID: 0, Offset: 5}); ok {
+		t.Error("Floor below all keys succeeded")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := NewStore(3)
+	for off := int64(0); off < 100; off += 10 {
+		s.Put(rec(1, off, 10, 0))
+	}
+	n := 0
+	s.Scan(meta.Key{FID: 1, Offset: 0}, meta.Key{FID: 1, Offset: 100}, func(r meta.Record) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("visited %d records, want 3", n)
+	}
+}
+
+// Property: a store agrees with a reference map+sort model under random
+// put/get/delete/scan sequences.
+func TestStoreMatchesReferenceModel(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore(seed)
+		ref := map[meta.Key]meta.Record{}
+		for i := 0; i < 300; i++ {
+			off := int64(rng.Intn(100))
+			key := meta.Key{FID: 1, Offset: off}
+			switch rng.Intn(3) {
+			case 0:
+				r := rec(1, off, int64(rng.Intn(10)+1), rng.Intn(50))
+				s.Put(r)
+				ref[key] = r
+			case 1:
+				got, ok := s.Get(key)
+				want, wok := ref[key]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 2:
+				if s.Delete(key) != (func() bool { _, ok := ref[key]; return ok })() {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		// Full scan order equals sorted reference keys.
+		var want []int64
+		for k := range ref {
+			want = append(want, k.Offset)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		all := s.All()
+		if len(all) != len(want) {
+			return false
+		}
+		for i, r := range all {
+			if r.Offset != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingRoutesToHomeServers(t *testing.T) {
+	r := NewRing(4, 100)
+	for off := int64(0); off < 1600; off += 100 {
+		srv := r.Put(rec(1, off, 100, 0))
+		if want := int(off / 100 % 4); srv != want {
+			t.Errorf("Put(off=%d) went to server %d, want %d", off, srv, want)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+	if r.Total() != 16 {
+		t.Errorf("Total = %d, want 16", r.Total())
+	}
+	got, ok := r.Get(1, 700)
+	if !ok || got.Offset != 700 {
+		t.Errorf("Get(700) = %+v, %v", got, ok)
+	}
+}
+
+func TestRingCoveringExactSegments(t *testing.T) {
+	r := NewRing(2, 100)
+	for off := int64(0); off < 1000; off += 50 {
+		r.Put(rec(1, off, 50, int(off/50)))
+	}
+	recs, servers := r.Covering(1, 200, 300) // segments at 200..450
+	if len(recs) != 6 {
+		t.Fatalf("Covering returned %d records, want 6: %+v", len(recs), recs)
+	}
+	for i, rr := range recs {
+		if want := int64(200 + 50*i); rr.Offset != want {
+			t.Errorf("record %d offset %d, want %d", i, rr.Offset, want)
+		}
+	}
+	if len(servers) == 0 {
+		t.Error("no servers reported")
+	}
+}
+
+func TestRingCoveringPartialOverlaps(t *testing.T) {
+	r := NewRing(3, 100)
+	r.Put(rec(1, 90, 50, 1))  // straddles boundary at 100, stored on server of 90
+	r.Put(rec(1, 140, 20, 2)) // inside partition 1
+	// Request [120, 150): overlaps both records.
+	recs, _ := r.Covering(1, 120, 30)
+	if len(recs) != 2 {
+		t.Fatalf("Covering = %+v, want both overlapping records", recs)
+	}
+	if recs[0].Offset != 90 || recs[1].Offset != 140 {
+		t.Errorf("records = %+v", recs)
+	}
+	// Request entirely within the straddler's tail partition.
+	recs, _ = r.Covering(1, 100, 10)
+	if len(recs) != 1 || recs[0].Offset != 90 {
+		t.Errorf("tail lookup = %+v, want the straddling record", recs)
+	}
+}
+
+func TestRingCoveringNoMatch(t *testing.T) {
+	r := NewRing(2, 100)
+	r.Put(rec(1, 0, 10, 0))
+	recs, _ := r.Covering(1, 500, 50)
+	if len(recs) != 0 {
+		t.Errorf("Covering of empty range = %+v", recs)
+	}
+	recs, _ = r.Covering(2, 0, 10) // wrong file
+	if len(recs) != 0 {
+		t.Errorf("Covering of wrong file = %+v", recs)
+	}
+}
+
+// Property: for random non-overlapping segment layouts, Covering returns
+// exactly the segments overlapping the query (validated against a brute
+// force scan), provided segments don't exceed the partition range size.
+func TestRingCoveringProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rangeSize := int64(rng.Intn(90) + 10)
+		servers := rng.Intn(5) + 1
+		r := NewRing(servers, rangeSize)
+		var all []meta.Record
+		cur := int64(rng.Intn(20))
+		for i := 0; i < 50; i++ {
+			size := int64(rng.Intn(int(rangeSize))) + 1
+			rc := rec(1, cur, size, i)
+			r.Put(rc)
+			all = append(all, rc)
+			cur += size + int64(rng.Intn(15)) // optional gap
+		}
+		for q := 0; q < 20; q++ {
+			qOff := int64(rng.Intn(int(cur + 10)))
+			qSize := int64(rng.Intn(200) + 1)
+			got, _ := r.Covering(1, qOff, qSize)
+			var want []meta.Record
+			for _, rc := range all {
+				if rc.Offset < qOff+qSize && rc.Offset+rc.Size > qOff {
+					want = append(want, rc)
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

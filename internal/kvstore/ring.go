@@ -1,0 +1,168 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"univistor/internal/meta"
+)
+
+// Ring is the distributed metadata store: one ordered Store per metadata
+// server, with keys assigned by the offset-range partitioner of §II-B3.
+// Methods take and return plain data; the owning service layers in the
+// messaging costs.
+type Ring struct {
+	part   meta.Partitioner
+	stores []*Store
+}
+
+// NewRing builds a ring of n server stores partitioned at rangeSize
+// granularity.
+func NewRing(n int, rangeSize int64) *Ring {
+	r := &Ring{part: meta.NewPartitioner(rangeSize, n)}
+	for i := 0; i < n; i++ {
+		r.stores = append(r.stores, NewStore(int64(1000+i)))
+	}
+	return r
+}
+
+// Servers returns the number of server stores.
+func (r *Ring) Servers() int { return len(r.stores) }
+
+// Partitioner returns the offset-range partitioner in use.
+func (r *Ring) Partitioner() meta.Partitioner { return r.part }
+
+// Store returns server i's local store (for co-located, zero-cost access).
+func (r *Ring) Store(i int) *Store { return r.stores[i] }
+
+// HomeServer returns the server owning the record for (fid, offset).
+func (r *Ring) HomeServer(offset int64) int { return r.part.ServerFor(offset) }
+
+// Put stores the record on its home server and returns that server's index
+// so the caller can charge the network hop.
+func (r *Ring) Put(rec meta.Record) int {
+	srv := r.part.ServerFor(rec.Offset)
+	r.stores[srv].Put(rec)
+	return srv
+}
+
+// Delete removes the record keyed exactly by (fid, offset), reporting
+// whether it existed.
+func (r *Ring) Delete(fid meta.FileID, offset int64) bool {
+	return r.stores[r.part.ServerFor(offset)].Delete(meta.Key{FID: fid, Offset: offset})
+}
+
+// Get fetches the record keyed exactly by (fid, offset).
+func (r *Ring) Get(fid meta.FileID, offset int64) (meta.Record, bool) {
+	return r.stores[r.part.ServerFor(offset)].Get(meta.Key{FID: fid, Offset: offset})
+}
+
+// Covering returns, in offset order, every record of the file overlapping
+// the byte range [offset, offset+size), together with the set of servers
+// contacted. A record overlaps if rec.Offset < offset+size and
+// rec.Offset+rec.Size > offset.
+func (r *Ring) Covering(fid meta.FileID, offset, size int64) ([]meta.Record, []int) {
+	if size <= 0 {
+		return nil, nil
+	}
+	var recs []meta.Record
+	seen := map[meta.Key]bool{}
+	parts := r.part.Split(offset, size)
+	servers := meta.SortedServers(parts)
+	for _, part := range parts {
+		st := r.stores[part.Server]
+		// A segment starting before this sub-range may cover its head.
+		if prev, ok := st.Floor(meta.Key{FID: fid, Offset: part.Offset}); ok &&
+			prev.FID == fid && prev.Offset+prev.Size > part.Offset {
+			if !seen[prev.Key()] {
+				seen[prev.Key()] = true
+				recs = append(recs, prev)
+			}
+		}
+		st.Scan(meta.Key{FID: fid, Offset: part.Offset},
+			meta.Key{FID: fid, Offset: part.Offset + part.Size},
+			func(rec meta.Record) bool {
+				if rec.Offset+rec.Size > offset && rec.Offset < offset+size && !seen[rec.Key()] {
+					seen[rec.Key()] = true
+					recs = append(recs, rec)
+				}
+				return true
+			})
+	}
+	// Segments straddling a partition boundary live on the server owning
+	// their *start* offset, which may lie in the partition immediately
+	// before the one containing the query start (segment sizes are bounded
+	// by the partition range size, so one partition back suffices).
+	if partStart := (parts[0].Offset / r.part.RangeSize) * r.part.RangeSize; partStart > 0 {
+		prevServer := r.part.ServerFor(partStart - 1)
+		st := r.stores[prevServer]
+		if prev, ok := st.Floor(meta.Key{FID: fid, Offset: partStart - 1}); ok &&
+			prev.FID == fid && prev.Offset+prev.Size > offset && !seen[prev.Key()] {
+			seen[prev.Key()] = true
+			recs = append(recs, prev)
+			found := false
+			for _, s := range servers {
+				if s == prevServer {
+					found = true
+				}
+			}
+			if !found {
+				servers = append(servers, prevServer)
+			}
+		}
+	}
+	sortRecords(recs)
+	return recs, servers
+}
+
+func sortRecords(recs []meta.Record) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].Key().Less(recs[j-1].Key()); j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// CoveringStore returns, in offset order, every record of the file in a
+// single store overlapping [offset, offset+size). It is the single-store
+// analogue of Ring.Covering, used for the per-node shared metadata buffer
+// of the location-aware read service.
+func CoveringStore(st *Store, fid meta.FileID, offset, size int64) []meta.Record {
+	if size <= 0 {
+		return nil
+	}
+	var recs []meta.Record
+	if prev, ok := st.Floor(meta.Key{FID: fid, Offset: offset}); ok &&
+		prev.FID == fid && prev.Offset+prev.Size > offset && prev.Offset < offset+size {
+		recs = append(recs, prev)
+	}
+	st.Scan(meta.Key{FID: fid, Offset: offset}, meta.Key{FID: fid, Offset: offset + size},
+		func(rec meta.Record) bool {
+			if len(recs) == 0 || recs[len(recs)-1].Key() != rec.Key() {
+				recs = append(recs, rec)
+			}
+			return true
+		})
+	return recs
+}
+
+// Total returns the number of records across all servers.
+func (r *Ring) Total() int {
+	n := 0
+	for _, s := range r.stores {
+		n += s.Len()
+	}
+	return n
+}
+
+// Validate checks that every stored record lives on its home server.
+func (r *Ring) Validate() error {
+	for i, s := range r.stores {
+		for _, rec := range s.All() {
+			if home := r.part.ServerFor(rec.Offset); home != i {
+				return fmt.Errorf("kvstore: record fid=%d off=%d on server %d, home %d",
+					rec.FID, rec.Offset, i, home)
+			}
+		}
+	}
+	return nil
+}

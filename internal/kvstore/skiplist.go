@@ -1,0 +1,153 @@
+// Package kvstore implements the distributed key-value substrate of the
+// metadata service: an ordered in-memory store (deterministic skiplist) and
+// a Ring that range-partitions the key space across server stores
+// (§II-B3). The package is pure data structure: messaging and latency costs
+// for remote operations are modelled by the callers that own the sim
+// processes.
+package kvstore
+
+import (
+	"math/rand"
+
+	"univistor/internal/meta"
+)
+
+const maxLevel = 16
+
+type node struct {
+	key  meta.Key
+	val  meta.Record
+	next [maxLevel]*node
+}
+
+// Store is an ordered map from meta.Key to meta.Record backed by a
+// skiplist. Each Store is deterministic: level draws come from a seeded
+// per-store PRNG, so identical operation sequences build identical
+// structures.
+type Store struct {
+	head  *node
+	level int
+	size  int
+	rng   *rand.Rand
+}
+
+// NewStore returns an empty store whose internal randomness is derived from
+// seed.
+func NewStore(seed int64) *Store {
+	return &Store{head: &node{}, level: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of records stored.
+func (s *Store) Len() int { return s.size }
+
+func (s *Store) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills prev with, per level, the rightmost node whose key
+// is strictly less than key.
+func (s *Store) findPredecessors(key meta.Key, prev *[maxLevel]*node) *node {
+	x := s.head
+	for lvl := s.level - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].key.Less(key) {
+			x = x.next[lvl]
+		}
+		prev[lvl] = x
+	}
+	return x.next[0]
+}
+
+// Put inserts or replaces the record stored under r.Key().
+func (s *Store) Put(r meta.Record) {
+	key := r.Key()
+	var prev [maxLevel]*node
+	cand := s.findPredecessors(key, &prev)
+	if cand != nil && cand.key == key {
+		cand.val = r
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			prev[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &node{key: key, val: r}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	s.size++
+}
+
+// Get returns the record stored under key.
+func (s *Store) Get(key meta.Key) (meta.Record, bool) {
+	var prev [maxLevel]*node
+	cand := s.findPredecessors(key, &prev)
+	if cand != nil && cand.key == key {
+		return cand.val, true
+	}
+	return meta.Record{}, false
+}
+
+// Delete removes the record stored under key, reporting whether it existed.
+func (s *Store) Delete(key meta.Key) bool {
+	var prev [maxLevel]*node
+	cand := s.findPredecessors(key, &prev)
+	if cand == nil || cand.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if prev[i].next[i] == cand {
+			prev[i].next[i] = cand.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+	return true
+}
+
+// Floor returns the record with the greatest key ≤ key, if any. Metadata
+// lookups use it to find the segment covering an offset that is not itself
+// a segment start.
+func (s *Store) Floor(key meta.Key) (meta.Record, bool) {
+	x := s.head
+	for lvl := s.level - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && !key.Less(x.next[lvl].key) {
+			x = x.next[lvl]
+		}
+	}
+	if x == s.head {
+		return meta.Record{}, false
+	}
+	return x.val, true
+}
+
+// Scan visits, in key order, every record with lo ≤ key < hi, stopping
+// early if fn returns false.
+func (s *Store) Scan(lo, hi meta.Key, fn func(meta.Record) bool) {
+	var prev [maxLevel]*node
+	x := s.findPredecessors(lo, &prev)
+	for x != nil && x.key.Less(hi) {
+		if !fn(x.val) {
+			return
+		}
+		x = x.next[0]
+	}
+}
+
+// All returns every record in key order. Intended for tests and tools.
+func (s *Store) All() []meta.Record {
+	var out []meta.Record
+	for x := s.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, x.val)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package meta defines the storage-tier taxonomy, the virtual-address (VA)
+// scheme of paper §II-B2 (Eq. 1), and the metadata records and
+// range-partitioning rules of the distributed metadata service (§II-B3).
+//
+// A segment's VA identifies both the storage tier its log lives on and its
+// physical (log-local) address within that tier:
+//
+//	VA_i = Σ_{k<i} C_k + A_i
+//
+// where C_k is the per-process log capacity on tier k and A_i is the
+// segment's address inside the tier-i log. (The paper's Eq. 1 prints the
+// summation bound as k ≤ i; the worked example — D4 at physical address 1 in
+// a tier whose lower neighbour holds 2 units has VA 3 — shows the intended
+// bound is k < i.)
+package meta
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tier enumerates the storage layers, ordered fastest to slowest. The
+// numeric order is the spill order of distributed hierarchical placement.
+type Tier int
+
+const (
+	// TierDRAM is the node-local memory-mapped log tier.
+	TierDRAM Tier = iota
+	// TierLocalSSD is an optional node-local NVRAM/SSD tier.
+	TierLocalSSD
+	// TierBB is the shared burst buffer.
+	TierBB
+	// TierPFS is the disk-based parallel file system.
+	TierPFS
+
+	// NumTiers is the number of storage layers.
+	NumTiers = int(TierPFS) + 1
+)
+
+// String returns the tier's conventional name.
+func (t Tier) String() string {
+	switch t {
+	case TierDRAM:
+		return "DRAM"
+	case TierLocalSSD:
+		return "LocalSSD"
+	case TierBB:
+		return "BB"
+	case TierPFS:
+		return "PFS"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Shared reports whether logs on this tier are globally visible to every
+// compute node (true for the shared burst buffer and the PFS) or visible
+// only on their host node (DRAM, local SSD). Location-aware reads exploit
+// this distinction (§II-B4).
+func (t Tier) Shared() bool { return t == TierBB || t == TierPFS }
+
+// AddressSpace is one process's per-tier log capacities, fixing the VA
+// layout for that process's segments. The PFS (last tier) is treated as
+// unbounded: every VA at or beyond its base decodes to it.
+type AddressSpace struct {
+	caps   [NumTiers]int64
+	prefix [NumTiers + 1]int64 // prefix[i] = Σ_{k<i} caps[k]
+}
+
+// NewAddressSpace builds an address space from per-tier log capacities.
+// Absent tiers use capacity zero. The PFS capacity may be zero; it is
+// unbounded regardless.
+func NewAddressSpace(caps [NumTiers]int64) (AddressSpace, error) {
+	var a AddressSpace
+	for i, c := range caps {
+		if c < 0 {
+			return a, fmt.Errorf("meta: tier %s capacity %d is negative", Tier(i), c)
+		}
+	}
+	a.caps = caps
+	for i := 0; i < NumTiers; i++ {
+		a.prefix[i+1] = a.prefix[i] + caps[i]
+	}
+	return a, nil
+}
+
+// Cap returns the log capacity of the given tier.
+func (a AddressSpace) Cap(t Tier) int64 { return a.caps[t] }
+
+// Base returns the lowest VA mapped to the given tier.
+func (a AddressSpace) Base(t Tier) int64 { return a.prefix[t] }
+
+// Encode returns the VA of a segment at physical address addr within the
+// tier-t log (Eq. 1).
+func (a AddressSpace) Encode(t Tier, addr int64) (int64, error) {
+	if addr < 0 {
+		return 0, fmt.Errorf("meta: negative physical address %d", addr)
+	}
+	if t != TierPFS && addr >= a.caps[t] {
+		return 0, fmt.Errorf("meta: address %d exceeds %s log capacity %d", addr, t, a.caps[t])
+	}
+	return a.prefix[t] + addr, nil
+}
+
+// Decode splits a VA into its tier and physical (log-local) address.
+func (a AddressSpace) Decode(va int64) (Tier, int64, error) {
+	if va < 0 {
+		return 0, 0, fmt.Errorf("meta: negative VA %d", va)
+	}
+	for t := 0; t < NumTiers-1; t++ {
+		if va < a.prefix[t+1] {
+			return Tier(t), va - a.prefix[t], nil
+		}
+	}
+	return TierPFS, va - a.prefix[TierPFS], nil
+}
+
+// FileID identifies one logical shared file in the unified namespace.
+type FileID int64
+
+// Record is the metadata entry for one file segment: it maps the segment's
+// logical position in the shared file to the producing process and the VA
+// inside that process's logs.
+type Record struct {
+	FID    FileID
+	Offset int64 // logical offset in the shared file
+	Size   int64
+	Proc   int   // source process (global client rank)
+	VA     int64 // virtual address within the source process's logs
+}
+
+// Key orders records by (FID, Offset).
+type Key struct {
+	FID    FileID
+	Offset int64
+}
+
+// Key returns the record's ordering key.
+func (r Record) Key() Key { return Key{r.FID, r.Offset} }
+
+// Less orders keys by file then offset.
+func (k Key) Less(o Key) bool {
+	if k.FID != o.FID {
+		return k.FID < o.FID
+	}
+	return k.Offset < o.Offset
+}
+
+// Partitioner maps logical offsets to metadata servers. The offset space of
+// each file is cut into fixed-size ranges assigned round-robin to servers
+// (§II-B3, Fig. 3).
+type Partitioner struct {
+	RangeSize int64
+	Servers   int
+}
+
+// NewPartitioner returns a partitioner with the given range granularity.
+func NewPartitioner(rangeSize int64, servers int) Partitioner {
+	if rangeSize <= 0 {
+		panic(fmt.Sprintf("meta: range size must be positive, got %d", rangeSize))
+	}
+	if servers <= 0 {
+		panic(fmt.Sprintf("meta: need at least one server, got %d", servers))
+	}
+	return Partitioner{RangeSize: rangeSize, Servers: servers}
+}
+
+// ServerFor returns the metadata server owning the range containing offset.
+func (p Partitioner) ServerFor(offset int64) int {
+	if offset < 0 {
+		panic(fmt.Sprintf("meta: negative offset %d", offset))
+	}
+	return int((offset / p.RangeSize) % int64(p.Servers))
+}
+
+// Split cuts the byte range [offset, offset+size) at partition boundaries
+// and returns the sub-ranges together with their owning servers, in offset
+// order. Every byte belongs to exactly one sub-range.
+func (p Partitioner) Split(offset, size int64) []RangePart {
+	if size <= 0 {
+		return nil
+	}
+	var out []RangePart
+	for cur := offset; cur < offset+size; {
+		rangeEnd := (cur/p.RangeSize + 1) * p.RangeSize
+		end := offset + size
+		if rangeEnd < end {
+			end = rangeEnd
+		}
+		out = append(out, RangePart{Offset: cur, Size: end - cur, Server: p.ServerFor(cur)})
+		cur = end
+	}
+	return out
+}
+
+// RangePart is one partition-aligned piece of a byte range.
+type RangePart struct {
+	Offset int64
+	Size   int64
+	Server int
+}
+
+// CoalesceByServer groups parts by owning server, preserving offset order
+// within each group. The groups are returned in ascending server order.
+func CoalesceByServer(parts []RangePart) map[int][]RangePart {
+	out := make(map[int][]RangePart)
+	for _, p := range parts {
+		out[p.Server] = append(out[p.Server], p)
+	}
+	return out
+}
+
+// SortedServers returns the sorted server set appearing in parts.
+func SortedServers(parts []RangePart) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range parts {
+		if !seen[p.Server] {
+			seen[p.Server] = true
+			out = append(out, p.Server)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

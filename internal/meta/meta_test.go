@@ -1,0 +1,217 @@
+package meta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func space(t *testing.T, caps [NumTiers]int64) AddressSpace {
+	t.Helper()
+	a, err := NewAddressSpace(caps)
+	if err != nil {
+		t.Fatalf("NewAddressSpace: %v", err)
+	}
+	return a
+}
+
+func TestPaperExampleVA(t *testing.T) {
+	// Fig. 2: node-local log capacity 2, shared BB log capacity 3. Segment
+	// D4 sits at physical address 1 in the BB log and has VA 3.
+	a := space(t, [NumTiers]int64{2, 0, 3, 0})
+	va, err := a.Encode(TierBB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != 3 {
+		t.Errorf("Encode(BB, 1) = %d, want 3 (paper Fig. 2 example)", va)
+	}
+	tier, addr, err := a.Decode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != TierBB || addr != 1 {
+		t.Errorf("Decode(3) = (%s, %d), want (BB, 1)", tier, addr)
+	}
+}
+
+func TestVAIdentifiesTierBoundaries(t *testing.T) {
+	a := space(t, [NumTiers]int64{10, 5, 20, 0})
+	cases := []struct {
+		va   int64
+		tier Tier
+		addr int64
+	}{
+		{0, TierDRAM, 0},
+		{9, TierDRAM, 9},
+		{10, TierLocalSSD, 0},
+		{14, TierLocalSSD, 4},
+		{15, TierBB, 0},
+		{34, TierBB, 19},
+		{35, TierPFS, 0},
+		{1000, TierPFS, 965},
+	}
+	for _, tc := range cases {
+		tier, addr, err := a.Decode(tc.va)
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", tc.va, err)
+		}
+		if tier != tc.tier || addr != tc.addr {
+			t.Errorf("Decode(%d) = (%s, %d), want (%s, %d)", tc.va, tier, addr, tc.tier, tc.addr)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	a := space(t, [NumTiers]int64{10, 0, 5, 0})
+	if _, err := a.Encode(TierDRAM, 10); err == nil {
+		t.Error("Encode past DRAM capacity succeeded")
+	}
+	if _, err := a.Encode(TierDRAM, -1); err == nil {
+		t.Error("Encode with negative address succeeded")
+	}
+	if _, err := a.Encode(TierPFS, 1<<40); err != nil {
+		t.Errorf("PFS is unbounded, Encode failed: %v", err)
+	}
+}
+
+func TestDecodeRejectsNegative(t *testing.T) {
+	a := space(t, [NumTiers]int64{1, 1, 1, 0})
+	if _, _, err := a.Decode(-1); err == nil {
+		t.Error("Decode(-1) succeeded")
+	}
+}
+
+func TestNewAddressSpaceRejectsNegativeCapacity(t *testing.T) {
+	if _, err := NewAddressSpace([NumTiers]int64{-1, 0, 0, 0}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// Property: Encode/Decode round-trip for every tier and in-range address.
+func TestVARoundTripProperty(t *testing.T) {
+	prop := func(c0, c1, c2 uint16, tierRaw uint8, addrRaw uint32) bool {
+		caps := [NumTiers]int64{int64(c0) + 1, int64(c1) + 1, int64(c2) + 1, 0}
+		a, err := NewAddressSpace(caps)
+		if err != nil {
+			return false
+		}
+		tier := Tier(int(tierRaw) % NumTiers)
+		var addr int64
+		if tier == TierPFS {
+			addr = int64(addrRaw)
+		} else {
+			addr = int64(addrRaw) % caps[tier]
+		}
+		va, err := a.Encode(tier, addr)
+		if err != nil {
+			return false
+		}
+		gt, ga, err := a.Decode(va)
+		return err == nil && gt == tier && ga == addr
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTierShared(t *testing.T) {
+	if TierDRAM.Shared() || TierLocalSSD.Shared() {
+		t.Error("node-local tiers reported as shared")
+	}
+	if !TierBB.Shared() || !TierPFS.Shared() {
+		t.Error("BB/PFS not reported as shared")
+	}
+}
+
+func TestPartitionerRoundRobin(t *testing.T) {
+	// Fig. 3: offsets 1-16 in 4 ranges assigned round-robin to servers.
+	p := NewPartitioner(4, 4)
+	for off := int64(0); off < 16; off++ {
+		want := int(off / 4 % 4)
+		if got := p.ServerFor(off); got != want {
+			t.Errorf("ServerFor(%d) = %d, want %d", off, got, want)
+		}
+	}
+	// Wraps around with fewer servers.
+	p2 := NewPartitioner(4, 2)
+	if p2.ServerFor(8) != 0 || p2.ServerFor(12) != 1 {
+		t.Error("round-robin wrap incorrect")
+	}
+}
+
+func TestSplitCoversRangeExactly(t *testing.T) {
+	p := NewPartitioner(10, 3)
+	parts := p.Split(5, 22) // [5,27) crosses boundaries at 10, 20
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3: %v", len(parts), parts)
+	}
+	wantOff := []int64{5, 10, 20}
+	wantSize := []int64{5, 10, 7}
+	for i, part := range parts {
+		if part.Offset != wantOff[i] || part.Size != wantSize[i] {
+			t.Errorf("part %d = %+v, want off %d size %d", i, part, wantOff[i], wantSize[i])
+		}
+		if part.Server != p.ServerFor(part.Offset) {
+			t.Errorf("part %d server mismatch", i)
+		}
+	}
+}
+
+// Property: Split partitions [offset, offset+size) with no gaps, no
+// overlaps, and correct server assignment.
+func TestSplitProperty(t *testing.T) {
+	prop := func(offRaw, sizeRaw uint32, rsRaw, nsRaw uint8) bool {
+		rangeSize := int64(rsRaw)%100 + 1
+		servers := int(nsRaw)%8 + 1
+		offset := int64(offRaw % 10000)
+		size := int64(sizeRaw%5000) + 1
+		p := NewPartitioner(rangeSize, servers)
+		parts := p.Split(offset, size)
+		cur := offset
+		for _, part := range parts {
+			if part.Offset != cur || part.Size <= 0 {
+				return false
+			}
+			if part.Size > rangeSize {
+				return false
+			}
+			if part.Server != p.ServerFor(part.Offset) {
+				return false
+			}
+			// A part never crosses a partition boundary.
+			if part.Offset/rangeSize != (part.Offset+part.Size-1)/rangeSize {
+				return false
+			}
+			cur += part.Size
+		}
+		return cur == offset+size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitZeroSize(t *testing.T) {
+	p := NewPartitioner(10, 2)
+	if parts := p.Split(5, 0); parts != nil {
+		t.Errorf("Split with zero size = %v, want nil", parts)
+	}
+}
+
+func TestCoalesceAndSortedServers(t *testing.T) {
+	p := NewPartitioner(10, 3)
+	parts := p.Split(0, 60) // servers 0,1,2,0,1,2
+	groups := CoalesceByServer(parts)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	for srv, g := range groups {
+		if len(g) != 2 {
+			t.Errorf("server %d has %d parts, want 2", srv, len(g))
+		}
+	}
+	servers := SortedServers(parts)
+	if len(servers) != 3 || servers[0] != 0 || servers[2] != 2 {
+		t.Errorf("SortedServers = %v", servers)
+	}
+}

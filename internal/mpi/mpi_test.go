@@ -1,0 +1,236 @@
+package mpi
+
+import (
+	"testing"
+
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+func testWorld(t *testing.T, nodes int) *World {
+	t.Helper()
+	cfg := topology.Cori()
+	cfg.Nodes = nodes
+	cfg.BBNodes = 2
+	cfg.OSTs = 8
+	e := sim.NewEngine()
+	return NewWorld(e, topology.New(e, cfg), schedule.InterferenceAware)
+}
+
+func TestLaunchPlacesRanksBlockwise(t *testing.T) {
+	w := testWorld(t, 4)
+	var nodes []int
+	c := w.Launch("app", 8, func(r *Rank) {
+		nodes = append(nodes, r.Node())
+	}, LaunchOpts{RanksPerNode: 4})
+	w.E.Run()
+	if !c.Done() {
+		t.Fatal("job did not finish")
+	}
+	for rank, node := range nodes {
+		_ = rank
+		_ = node
+	}
+	count := map[int]int{}
+	for _, r := range c.Ranks() {
+		count[r.Node()]++
+	}
+	if count[0] != 4 || count[1] != 4 {
+		t.Errorf("rank distribution = %v, want 4 per node on nodes 0,1", count)
+	}
+}
+
+func TestLaunchOnExplicitNodes(t *testing.T) {
+	w := testWorld(t, 4)
+	c := w.Launch("app", 4, func(r *Rank) {}, LaunchOpts{RanksPerNode: 2, Nodes: []int{2, 3}})
+	w.E.Run()
+	if c.Rank(0).Node() != 2 || c.Rank(3).Node() != 3 {
+		t.Errorf("ranks on nodes %d..%d, want 2..3", c.Rank(0).Node(), c.Rank(3).Node())
+	}
+}
+
+func TestSendRecvAcrossNodes(t *testing.T) {
+	w := testWorld(t, 2)
+	const size = 1 << 20
+	var recvAt sim.Time
+	var got Msg
+	w.Launch("app", 2, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, "data", size, "hello")
+		} else {
+			got = r.Recv()
+			recvAt = r.Now()
+		}
+	}, LaunchOpts{RanksPerNode: 1})
+	w.E.Run()
+	if got.Payload != "hello" || got.Src != 0 || got.Tag != "data" {
+		t.Fatalf("received %+v", got)
+	}
+	// Cost at least latency + size/NIC bandwidth.
+	minT := w.Cluster.Cfg.NetLatency + float64(size)/w.Cluster.Cfg.NICBW
+	if float64(recvAt) < minT*0.99 {
+		t.Errorf("message arrived at %v, want ≥ %v", recvAt, minT)
+	}
+}
+
+func TestIntraNodeSendHasOnlyLatency(t *testing.T) {
+	w := testWorld(t, 1)
+	var recvAt sim.Time
+	w.Launch("app", 2, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, "x", 1<<30, nil) // 1 GiB but intra-node: no NIC path
+		} else {
+			r.Recv()
+			recvAt = r.Now()
+		}
+	}, LaunchOpts{RanksPerNode: 2})
+	w.E.Run()
+	if float64(recvAt) > w.Cluster.Cfg.NetLatency*2 {
+		t.Errorf("intra-node message took %v, want ≈ latency %v", recvAt, w.Cluster.Cfg.NetLatency)
+	}
+}
+
+func TestRecvTagHoldsBackOtherMessages(t *testing.T) {
+	w := testWorld(t, 1)
+	var order []string
+	w.Launch("app", 2, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, "a", 0, nil)
+			r.Send(1, "b", 0, nil)
+		} else {
+			m := r.RecvTag("b")
+			order = append(order, m.Tag)
+			m = r.Recv()
+			order = append(order, m.Tag)
+		}
+	}, LaunchOpts{RanksPerNode: 2})
+	w.E.Run()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Errorf("order = %v, want [b a]", order)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := testWorld(t, 2)
+	var after []sim.Time
+	w.Launch("app", 4, func(r *Rank) {
+		r.Compute(float64(r.Rank())) // ranks arrive at 0,1,2,3
+		r.Barrier()
+		after = append(after, r.Now())
+	}, LaunchOpts{RanksPerNode: 2})
+	w.E.Run()
+	if len(after) != 4 {
+		t.Fatalf("%d ranks passed the barrier", len(after))
+	}
+	for _, at := range after {
+		if float64(at) < 3 {
+			t.Errorf("rank passed barrier at %v, before last arrival t=3", at)
+		}
+	}
+}
+
+func TestBcastDeliversRootValue(t *testing.T) {
+	w := testWorld(t, 2)
+	got := make([]any, 4)
+	w.Launch("app", 4, func(r *Rank) {
+		var v any
+		if r.Rank() == 2 {
+			v = 42
+		}
+		got[r.Rank()] = r.Bcast(2, 8, v)
+	}, LaunchOpts{RanksPerNode: 2})
+	w.E.Run()
+	for i, v := range got {
+		if v != 42 {
+			t.Errorf("rank %d got %v, want 42", i, v)
+		}
+	}
+}
+
+func TestGatherCollectsInRankOrder(t *testing.T) {
+	w := testWorld(t, 2)
+	var collected []any
+	w.Launch("app", 4, func(r *Rank) {
+		res := r.Gather(0, 8, r.Rank()*10)
+		if r.Rank() == 0 {
+			collected = res
+		}
+	}, LaunchOpts{RanksPerNode: 2})
+	w.E.Run()
+	if len(collected) != 4 {
+		t.Fatalf("gather returned %d values", len(collected))
+	}
+	for i, v := range collected {
+		if v != i*10 {
+			t.Errorf("gather[%d] = %v, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestAllreduceMaxTwice(t *testing.T) {
+	w := testWorld(t, 1)
+	results := make([]float64, 3)
+	second := make([]float64, 3)
+	w.Launch("app", 3, func(r *Rank) {
+		results[r.Rank()] = r.AllreduceMax(float64(r.Rank()))
+		second[r.Rank()] = r.AllreduceMax(float64(10 - r.Rank()))
+	}, LaunchOpts{RanksPerNode: 3})
+	w.E.Run()
+	for i := range results {
+		if results[i] != 2 {
+			t.Errorf("first allreduce on rank %d = %v, want 2", i, results[i])
+		}
+		if second[i] != 10 {
+			t.Errorf("second allreduce on rank %d = %v, want 10 (state not reset)", i, second[i])
+		}
+	}
+}
+
+func TestOnExitHooksRun(t *testing.T) {
+	w := testWorld(t, 1)
+	var exits int
+	w.Launch("app", 3, func(r *Rank) {}, LaunchOpts{
+		RanksPerNode: 3,
+		OnExit:       []func(*Rank){func(r *Rank) { exits++ }},
+	})
+	w.E.Run()
+	if exits != 3 {
+		t.Errorf("exit hooks ran %d times, want 3", exits)
+	}
+}
+
+func TestCrossCommSendTo(t *testing.T) {
+	w := testWorld(t, 2)
+	serverGot := make(chan any, 1)
+	servers := w.Launch("server", 1, func(r *Rank) {
+		m := r.Recv()
+		serverGot <- m.Payload
+	}, LaunchOpts{RanksPerNode: 1})
+	w.Launch("client", 1, func(r *Rank) {
+		r.SendTo(servers.Rank(0), "req", 100, "ping")
+	}, LaunchOpts{RanksPerNode: 1, Nodes: []int{1}})
+	w.E.Run()
+	select {
+	case v := <-serverGot:
+		if v != "ping" {
+			t.Errorf("server got %v", v)
+		}
+	default:
+		t.Error("server never received the message")
+	}
+}
+
+func TestCommWait(t *testing.T) {
+	w := testWorld(t, 1)
+	app := w.Launch("app", 2, func(r *Rank) { r.Compute(5) }, LaunchOpts{RanksPerNode: 2})
+	var waitedUntil sim.Time
+	w.E.Go("watcher", func(p *sim.Proc) {
+		app.Wait(p)
+		waitedUntil = p.Now()
+	})
+	w.E.Run()
+	if waitedUntil != 5 {
+		t.Errorf("Wait returned at %v, want 5", waitedUntil)
+	}
+}

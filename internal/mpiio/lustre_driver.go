@@ -1,0 +1,166 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"univistor/internal/extent"
+	"univistor/internal/lustre"
+	"univistor/internal/mpi"
+	"univistor/internal/sim"
+)
+
+// LustreDriver is the conventional path: applications write one shared file
+// straight to the disk-based PFS, paying extent-lock contention and disk
+// bandwidth on every access. It is the "Lustre" baseline of the evaluation.
+type LustreDriver struct {
+	FS *lustre.FS
+	// Stripe is the layout for newly created shared files; zero value uses
+	// a wide default (all OSTs, 1 MiB stripes), the usual tuning for large
+	// shared checkpoints.
+	Stripe lustre.StripeSpec
+	// LockEff is the shared-file extent-lock efficiency (the topology
+	// config's SharedFileEff belongs here).
+	LockEff float64
+	// WriterBW is the per-process throughput ceiling on a contended
+	// shared file (the topology config's SharedWriterBW).
+	WriterBW float64
+
+	files map[string]*lustreShared
+}
+
+type lustreShared struct {
+	f       *lustre.File
+	content extent.Map
+	opens   int
+	// Per-writer extent-lock serialization: every concurrent writer of a
+	// contended shared file is individually throttled by lock
+	// acquire/release round-trips. writerPorts[rank] caps one writer;
+	// readers share the same mechanism at 4× (read locks are shared).
+	writerPorts map[int]*sim.Resource
+	readerPorts map[int]*sim.Resource
+}
+
+func (sh *lustreShared) writerPort(d *LustreDriver, rank int) *sim.Resource {
+	if d.LockEff <= 0 || d.LockEff >= 1 {
+		return nil
+	}
+	if sh.writerPorts == nil {
+		sh.writerPorts = map[int]*sim.Resource{}
+	}
+	p, ok := sh.writerPorts[rank]
+	if !ok {
+		p = sim.NewResource(fmt.Sprintf("lwr:%s/%d", sh.f.Name(), rank), d.WriterBW)
+		sh.writerPorts[rank] = p
+	}
+	return p
+}
+
+func (sh *lustreShared) readerPort(d *LustreDriver, rank int) *sim.Resource {
+	if d.LockEff <= 0 || d.LockEff >= 1 {
+		return nil
+	}
+	if sh.readerPorts == nil {
+		sh.readerPorts = map[int]*sim.Resource{}
+	}
+	p, ok := sh.readerPorts[rank]
+	if !ok {
+		p = sim.NewResource(fmt.Sprintf("lrd:%s/%d", sh.f.Name(), rank), 4*d.WriterBW)
+		sh.readerPorts[rank] = p
+	}
+	return p
+}
+
+// NewLustreDriver returns the baseline driver over the PFS model. The
+// per-writer serialization bandwidth defaults to 55 MiB/s (override via
+// the WriterBW field).
+func NewLustreDriver(fs *lustre.FS, lockEff float64) *LustreDriver {
+	return &LustreDriver{FS: fs, LockEff: lockEff, WriterBW: 55 << 20, files: map[string]*lustreShared{}}
+}
+
+// Name returns "lustre".
+func (d *LustreDriver) Name() string { return "lustre" }
+
+// Open is the collective open: an MDS round-trip per rank plus a barrier.
+func (d *LustreDriver) Open(r *mpi.Rank, name string, mode Mode) (File, error) {
+	cfg := r.World().Cluster.Cfg
+	r.P.Sleep(cfg.PFSLatency) // MDS RPC
+	r.Barrier()
+	sh, ok := d.files[name]
+	if !ok {
+		if mode == ReadOnly {
+			return nil, fmt.Errorf("lustre driver: file %q does not exist", name)
+		}
+		spec := d.Stripe
+		if spec.Size == 0 {
+			spec = lustre.StripeSpec{Size: 1 << 20, Count: d.FS.OSTCount(), StartOST: lustre.AutoStart}
+		}
+		f, err := d.FS.Create(name, spec, d.LockEff)
+		if err != nil {
+			return nil, err
+		}
+		sh = &lustreShared{f: f}
+		d.files[name] = sh
+	}
+	sh.opens++
+	return &lustreFile{d: d, sh: sh, r: r, mode: mode}, nil
+}
+
+type lustreFile struct {
+	d      *LustreDriver
+	sh     *lustreShared
+	r      *mpi.Rank
+	mode   Mode
+	closed bool
+}
+
+func (f *lustreFile) Name() string { return f.sh.f.Name() }
+
+func (f *lustreFile) WriteAt(off, size int64, data []byte) error {
+	if f.closed {
+		return fmt.Errorf("lustre driver: write to closed file")
+	}
+	if f.mode != WriteOnly {
+		return fmt.Errorf("lustre driver: file opened read-only")
+	}
+	if size <= 0 {
+		return fmt.Errorf("lustre driver: write size %d must be positive", size)
+	}
+	extra := []*sim.Resource{f.r.H.MemPort}
+	if wp := f.sh.writerPort(f.d, f.r.Rank()); wp != nil {
+		extra = append(extra, wp)
+	}
+	if err := f.sh.f.Write(f.r.P, f.r.Node(), off, size, extra...); err != nil {
+		return err
+	}
+	if data != nil {
+		f.sh.content.Write(off, data)
+	}
+	return nil
+}
+
+func (f *lustreFile) ReadAt(off, size int64) ([]byte, error) {
+	if f.closed {
+		return nil, fmt.Errorf("lustre driver: read from closed file")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("lustre driver: read size %d must be positive", size)
+	}
+	extra := []*sim.Resource{f.r.H.MemPort}
+	if rp := f.sh.readerPort(f.d, f.r.Rank()); rp != nil {
+		extra = append(extra, rp)
+	}
+	f.sh.f.Read(f.r.P, f.r.Node(), off, size, extra...)
+	data, _ := f.sh.content.Read(off, size)
+	return data, nil
+}
+
+func (f *lustreFile) Close() error {
+	if f.closed {
+		return fmt.Errorf("lustre driver: double close")
+	}
+	f.closed = true
+	f.r.P.Sleep(f.r.World().Cluster.Cfg.PFSLatency)
+	f.r.Barrier()
+	f.sh.opens--
+	return nil
+}

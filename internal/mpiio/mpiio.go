@@ -1,0 +1,85 @@
+// Package mpiio is the MPI-IO layer with an ADIO-style driver interface
+// (paper §II-F): applications perform collective opens and independent
+// reads/writes against a File abstraction, while a Driver supplies the
+// file-system behaviour underneath. UniviStor, plain Lustre, and Data
+// Elevator are drivers; selecting one via Env.FSType mirrors setting
+// ROMIO_FSTYPE_FORCE.
+package mpiio
+
+import (
+	"fmt"
+
+	"univistor/internal/mpi"
+)
+
+// Mode is the file access mode of a collective open.
+type Mode int
+
+const (
+	// ReadOnly opens for reading (MPI_MODE_RDONLY).
+	ReadOnly Mode = iota
+	// WriteOnly opens for writing (MPI_MODE_WRONLY | MPI_MODE_CREATE).
+	WriteOnly
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == WriteOnly {
+		return "write"
+	}
+	return "read"
+}
+
+// File is an open MPI file handle. WriteAt/ReadAt are independent
+// operations; Close is collective.
+type File interface {
+	Name() string
+	WriteAt(off, size int64, data []byte) error
+	ReadAt(off, size int64) ([]byte, error)
+	Close() error
+}
+
+// Deleter is implemented by files that support reclaiming byte ranges
+// (UniviStor punches the segments' log chunks back onto the free stack).
+type Deleter interface {
+	// Delete removes the segments entirely inside [off, off+size) and
+	// returns how many were reclaimed.
+	Delete(off, size int64) (int, error)
+}
+
+// Driver is an ADIO file-system driver. Open is collective: every rank of
+// the application must call it with identical arguments.
+type Driver interface {
+	Name() string
+	Open(r *mpi.Rank, name string, mode Mode) (File, error)
+}
+
+// Env selects the driver per job, mimicking the ROMIO_FSTYPE_FORCE
+// environment flag.
+type Env struct {
+	FSType  string
+	drivers map[string]Driver
+}
+
+// NewEnv returns an environment with the given drivers registered.
+func NewEnv(fstype string, drivers ...Driver) (*Env, error) {
+	e := &Env{FSType: fstype, drivers: map[string]Driver{}}
+	for _, d := range drivers {
+		if _, dup := e.drivers[d.Name()]; dup {
+			return nil, fmt.Errorf("mpiio: duplicate driver %q", d.Name())
+		}
+		e.drivers[d.Name()] = d
+	}
+	if _, ok := e.drivers[fstype]; !ok {
+		return nil, fmt.Errorf("mpiio: no driver %q registered", fstype)
+	}
+	return e, nil
+}
+
+// Driver returns the selected driver.
+func (e *Env) Driver() Driver { return e.drivers[e.FSType] }
+
+// Open is the collective MPI_File_open through the selected driver.
+func (e *Env) Open(r *mpi.Rank, name string, mode Mode) (File, error) {
+	return e.drivers[e.FSType].Open(r, name, mode)
+}

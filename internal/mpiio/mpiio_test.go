@@ -1,0 +1,198 @@
+package mpiio
+
+import (
+	"bytes"
+	"testing"
+
+	"univistor/internal/core"
+	"univistor/internal/lustre"
+	"univistor/internal/mpi"
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+const mib = int64(1) << 20
+
+func testWorld(t *testing.T) *mpi.World {
+	t.Helper()
+	tc := topology.Cori()
+	tc.Nodes = 2
+	tc.CoresPerNode = 8
+	tc.DRAMPerNode = 64 * mib
+	tc.BBNodes = 2
+	tc.BBCapPerNode = 256 * mib
+	tc.BBStripeSize = 1 * mib
+	tc.OSTs = 8
+	e := sim.NewEngine()
+	return mpi.NewWorld(e, topology.New(e, tc), schedule.InterferenceAware)
+}
+
+func univistorEnv(t *testing.T, w *mpi.World) (*Env, *UniviStorDriver) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.ChunkSize = 1 * mib
+	cfg.MetaRangeSize = 16 * mib
+	sys, err := core.NewSystem(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewUniviStorDriver(sys)
+	env, err := NewEnv("univistor", drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, drv
+}
+
+func TestEnvValidation(t *testing.T) {
+	w := testWorld(t)
+	fs := lustre.NewFS(w.Cluster)
+	d := NewLustreDriver(fs, 0.3)
+	if _, err := NewEnv("missing", d); err == nil {
+		t.Error("NewEnv accepted an unregistered fstype")
+	}
+	if _, err := NewEnv("lustre", d, d); err == nil {
+		t.Error("NewEnv accepted duplicate drivers")
+	}
+	env, err := NewEnv("lustre", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Driver().Name() != "lustre" {
+		t.Errorf("selected driver %q", env.Driver().Name())
+	}
+}
+
+func TestUniviStorDriverRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	env, drv := univistorEnv(t, w)
+	payload := bytes.Repeat([]byte("m"), int(1*mib))
+	var got []byte
+	app := w.Launch("app", 2, func(r *mpi.Rank) {
+		f, err := env.Open(r, "data.h5", WriteOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		off := int64(r.Rank()) * mib
+		if err := f.WriteAt(off, mib, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		rf, err := env.Open(r, "data.h5", ReadOnly)
+		if err != nil {
+			t.Errorf("reopen: %v", err)
+			return
+		}
+		if r.Rank() == 1 {
+			data, err := rf.ReadAt(0, mib) // rank 0's segment
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			got = data
+		}
+		rf.Close()
+		drv.Disconnect(r)
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	w.E.Go("janitor", func(p *sim.Proc) {
+		app.Wait(p)
+		drv.Sys.Shutdown()
+	})
+	w.E.Run()
+	if w.E.Deadlocked() != 0 {
+		t.Fatalf("deadlocked procs: %d", w.E.Deadlocked())
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestLustreDriverRoundTripAndModes(t *testing.T) {
+	w := testWorld(t)
+	d := NewLustreDriver(lustre.NewFS(w.Cluster), 0.3)
+	env, _ := NewEnv("lustre", d)
+	payload := bytes.Repeat([]byte("L"), int(1*mib))
+	var got []byte
+	w.Launch("app", 2, func(r *mpi.Rank) {
+		if _, err := env.Open(r, "absent", ReadOnly); err == nil {
+			t.Error("read-open of missing file succeeded")
+		}
+		r.Barrier()
+		f, err := env.Open(r, "shared", WriteOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		off := int64(r.Rank()) * mib
+		if err := f.WriteAt(off, mib, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if _, err := f.ReadAt(off, mib); err != nil {
+			t.Errorf("read on write handle should work through lustre: %v", err)
+		}
+		f.Close()
+		rf, _ := env.Open(r, "shared", ReadOnly)
+		if err := rf.WriteAt(0, 1, []byte{0}); err == nil {
+			t.Error("write on read-only handle succeeded")
+		}
+		if r.Rank() == 0 {
+			got, _ = rf.ReadAt(mib, mib)
+		}
+		rf.Close()
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	w.E.Run()
+	if !bytes.Equal(got, payload) {
+		t.Error("lustre round trip mismatch")
+	}
+}
+
+func TestLustreSharedSlowerThanUniviStorDRAM(t *testing.T) {
+	// The headline comparison in miniature: the same 8 MiB/rank write via
+	// the UniviStor driver (DRAM logs) and via plain Lustre.
+	elapsed := func(build func(w *mpi.World) (*Env, func())) sim.Time {
+		w := testWorld(t)
+		env, cleanup := build(w)
+		var dur sim.Time
+		app := w.Launch("app", 4, func(r *mpi.Rank) {
+			f, err := env.Open(r, "f", WriteOnly)
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			start := r.Now()
+			off := int64(r.Rank()) * 8 * mib
+			for i := int64(0); i < 8; i++ {
+				if err := f.WriteAt(off+i*mib, mib, nil); err != nil {
+					t.Errorf("write: %v", err)
+				}
+			}
+			if d := r.Now() - start; d > dur {
+				dur = d
+			}
+			f.Close()
+		}, mpi.LaunchOpts{RanksPerNode: 2})
+		w.E.Go("janitor", func(p *sim.Proc) {
+			app.Wait(p)
+			if cleanup != nil {
+				cleanup()
+			}
+		})
+		w.E.Run()
+		return dur
+	}
+	uv := elapsed(func(w *mpi.World) (*Env, func()) {
+		env, drv := univistorEnv(t, w)
+		return env, drv.Sys.Shutdown
+	})
+	lus := elapsed(func(w *mpi.World) (*Env, func()) {
+		d := NewLustreDriver(lustre.NewFS(w.Cluster), w.Cluster.Cfg.SharedFileEff)
+		env, _ := NewEnv("lustre", d)
+		return env, nil
+	})
+	if uv >= lus {
+		t.Errorf("UniviStor/DRAM write %v not faster than Lustre %v", uv, lus)
+	}
+}

@@ -1,0 +1,78 @@
+package mpiio
+
+import (
+	"univistor/internal/core"
+	"univistor/internal/mpi"
+)
+
+// UniviStorDriver redirects MPI-IO traffic into a running UniviStor
+// deployment — the paper's ADIO driver enabled by
+// ROMIO_FSTYPE_FORCE=UniviStor.
+type UniviStorDriver struct {
+	Sys     *core.System
+	clients map[*mpi.Rank]*core.Client
+}
+
+// NewUniviStorDriver wraps a UniviStor system as an ADIO driver.
+func NewUniviStorDriver(sys *core.System) *UniviStorDriver {
+	return &UniviStorDriver{Sys: sys, clients: map[*mpi.Rank]*core.Client{}}
+}
+
+// Name returns "univistor".
+func (d *UniviStorDriver) Name() string { return "univistor" }
+
+// ClientFor returns (connecting on first use) the rank's UniviStor client —
+// the MPI_Init-time connection of the paper's connection-management module.
+func (d *UniviStorDriver) ClientFor(r *mpi.Rank) *core.Client {
+	c, ok := d.clients[r]
+	if !ok {
+		c = d.Sys.Connect(r)
+		d.clients[r] = c
+	}
+	return c
+}
+
+// Disconnect detaches a rank (the MPI_Finalize hook). Harmless if the rank
+// never connected.
+func (d *UniviStorDriver) Disconnect(r *mpi.Rank) {
+	if c, ok := d.clients[r]; ok {
+		c.Disconnect()
+		delete(d.clients, r)
+	}
+}
+
+// Open is the collective open through UniviStor.
+func (d *UniviStorDriver) Open(r *mpi.Rank, name string, mode Mode) (File, error) {
+	cmode := core.ReadOnly
+	if mode == WriteOnly {
+		cmode = core.WriteOnly
+	}
+	cf, err := d.ClientFor(r).Open(name, cmode)
+	if err != nil {
+		return nil, err
+	}
+	return &univistorFile{cf: cf}, nil
+}
+
+type univistorFile struct {
+	cf *core.ClientFile
+}
+
+func (f *univistorFile) Name() string { return f.cf.Name() }
+
+func (f *univistorFile) WriteAt(off, size int64, data []byte) error {
+	return f.cf.WriteAt(off, size, data)
+}
+
+func (f *univistorFile) ReadAt(off, size int64) ([]byte, error) {
+	return f.cf.ReadAt(off, size)
+}
+
+func (f *univistorFile) Close() error { return f.cf.Close() }
+
+// Delete reclaims whole segments inside the range (see core.ClientFile).
+func (f *univistorFile) Delete(off, size int64) (int, error) {
+	return f.cf.Delete(off, size)
+}
+
+var _ Deleter = (*univistorFile)(nil)

@@ -1,0 +1,340 @@
+// Package netcdflite is a minimal classic-netCDF-flavoured container on the
+// MPI-IO File abstraction, completing the trio of parallel I/O libraries
+// the paper lists above the ADIO layer (MPI-IO, HDF5, netCDF). A file holds
+// named dimensions and variables; each variable's shape is a list of
+// dimensions and its data lives in a contiguous row-major extent behind a
+// fixed header region. Like hdf5lite, header traffic is root-plus-broadcast
+// in collective mode and all-ranks otherwise.
+package netcdflite
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"univistor/internal/mpi"
+	"univistor/internal/mpiio"
+)
+
+// HeaderSize is the reserved header region at the file head.
+const HeaderSize = 32 << 10
+
+var magic = [4]byte{'C', 'D', 'F', 'L'}
+
+// Dim is a named dimension.
+type Dim struct {
+	Name string
+	Len  int64
+}
+
+// Var is a variable: an elemSize-byte type shaped by dimensions.
+type Var struct {
+	Name     string
+	ElemSize int64
+	Dims     []string
+	Offset   int64 // byte offset of the first element
+}
+
+// File is an open netcdflite container.
+type File struct {
+	f          mpiio.File
+	r          *mpi.Rank
+	collective bool
+	mode       mpiio.Mode
+	dims       []Dim
+	vars       []Var
+	nextOff    int64
+	defined    bool // header written (end of define mode)
+	closed     bool
+}
+
+// Create starts a new container in define mode on a write-mode MPI file.
+func Create(r *mpi.Rank, f mpiio.File, collective bool) *File {
+	return &File{f: f, r: r, collective: collective, mode: mpiio.WriteOnly, nextOff: HeaderSize}
+}
+
+// Open loads an existing container's header from a read-mode MPI file.
+func Open(r *mpi.Rank, f mpiio.File, collective bool) (*File, error) {
+	nc := &File{f: f, r: r, collective: collective, mode: mpiio.ReadOnly, defined: true}
+	var raw []byte
+	if collective {
+		if r.Rank() == 0 {
+			data, err := f.ReadAt(0, HeaderSize)
+			if err != nil {
+				return nil, err
+			}
+			raw = data
+		}
+		raw = r.Bcast(0, HeaderSize, raw).([]byte)
+	} else {
+		data, err := f.ReadAt(0, HeaderSize)
+		if err != nil {
+			return nil, err
+		}
+		raw = data
+	}
+	if err := nc.decodeHeader(raw); err != nil {
+		return nil, err
+	}
+	return nc, nil
+}
+
+// DefDim defines a dimension (define mode only).
+func (nc *File) DefDim(name string, length int64) error {
+	if nc.defined {
+		return fmt.Errorf("netcdflite: DefDim after EndDef")
+	}
+	if length <= 0 || name == "" || len(name) > 255 {
+		return fmt.Errorf("netcdflite: invalid dimension %q (len %d)", name, length)
+	}
+	for _, d := range nc.dims {
+		if d.Name == name {
+			return fmt.Errorf("netcdflite: dimension %q already defined", name)
+		}
+	}
+	nc.dims = append(nc.dims, Dim{Name: name, Len: length})
+	return nil
+}
+
+// DefVar defines a variable shaped by previously defined dimensions.
+func (nc *File) DefVar(name string, elemSize int64, dims ...string) error {
+	if nc.defined {
+		return fmt.Errorf("netcdflite: DefVar after EndDef")
+	}
+	if elemSize <= 0 || name == "" || len(name) > 255 {
+		return fmt.Errorf("netcdflite: invalid variable %q", name)
+	}
+	for _, v := range nc.vars {
+		if v.Name == name {
+			return fmt.Errorf("netcdflite: variable %q already defined", name)
+		}
+	}
+	elems := int64(1)
+	for _, dn := range dims {
+		d, ok := nc.dim(dn)
+		if !ok {
+			return fmt.Errorf("netcdflite: variable %q uses undefined dimension %q", name, dn)
+		}
+		elems *= d.Len
+	}
+	nc.vars = append(nc.vars, Var{Name: name, ElemSize: elemSize,
+		Dims: append([]string(nil), dims...), Offset: nc.nextOff})
+	nc.nextOff += elems * elemSize
+	return nil
+}
+
+func (nc *File) dim(name string) (Dim, bool) {
+	for _, d := range nc.dims {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dim{}, false
+}
+
+// VarInfo returns a defined variable.
+func (nc *File) VarInfo(name string) (Var, bool) {
+	for _, v := range nc.vars {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Var{}, false
+}
+
+// Elems returns the total element count of a variable.
+func (nc *File) Elems(v Var) int64 {
+	elems := int64(1)
+	for _, dn := range v.Dims {
+		d, _ := nc.dim(dn)
+		elems *= d.Len
+	}
+	return elems
+}
+
+// EndDef leaves define mode, persisting the header (collective).
+func (nc *File) EndDef() error {
+	if nc.defined {
+		return fmt.Errorf("netcdflite: double EndDef")
+	}
+	nc.defined = true
+	return nc.writeHeader()
+}
+
+func (nc *File) writeHeader() error {
+	raw, err := nc.encodeHeader()
+	if err != nil {
+		return err
+	}
+	if nc.collective {
+		if nc.r.Rank() == 0 {
+			if err := nc.f.WriteAt(0, HeaderSize, raw); err != nil {
+				return err
+			}
+		}
+		nc.r.Bcast(0, 64, nil)
+		return nil
+	}
+	return nc.f.WriteAt(0, HeaderSize, raw)
+}
+
+// PutVara writes count elements of the variable starting at element start
+// (flattened row-major index). data may be nil for size-only runs.
+func (nc *File) PutVara(name string, start, count int64, data []byte) error {
+	if !nc.defined {
+		return fmt.Errorf("netcdflite: PutVara before EndDef")
+	}
+	v, ok := nc.VarInfo(name)
+	if !ok {
+		return fmt.Errorf("netcdflite: no variable %q", name)
+	}
+	if start < 0 || start+count > nc.Elems(v) {
+		return fmt.Errorf("netcdflite: elements [%d,%d) outside variable %q", start, start+count, name)
+	}
+	return nc.f.WriteAt(v.Offset+start*v.ElemSize, count*v.ElemSize, data)
+}
+
+// GetVara reads count elements of the variable starting at element start.
+func (nc *File) GetVara(name string, start, count int64) ([]byte, error) {
+	v, ok := nc.VarInfo(name)
+	if !ok {
+		return nil, fmt.Errorf("netcdflite: no variable %q", name)
+	}
+	if start < 0 || start+count > nc.Elems(v) {
+		return nil, fmt.Errorf("netcdflite: elements [%d,%d) outside variable %q", start, start+count, name)
+	}
+	return nc.f.ReadAt(v.Offset+start*v.ElemSize, count*v.ElemSize)
+}
+
+// Close persists the header if still in define mode, then closes the file.
+func (nc *File) Close() error {
+	if nc.closed {
+		return fmt.Errorf("netcdflite: double close")
+	}
+	nc.closed = true
+	if nc.mode == mpiio.WriteOnly && !nc.defined {
+		if err := nc.EndDef(); err != nil {
+			return err
+		}
+	}
+	return nc.f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Header serialization.
+
+func writeStr(buf *bytes.Buffer, s string) {
+	buf.WriteByte(byte(len(s)))
+	buf.WriteString(s)
+}
+
+func readStr(rd *bytes.Reader) (string, error) {
+	n, err := rd.ReadByte()
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := rd.Read(b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (nc *File) encodeHeader() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	if err := binary.Write(&buf, binary.LittleEndian, int64(len(nc.dims))); err != nil {
+		return nil, err
+	}
+	for _, d := range nc.dims {
+		writeStr(&buf, d.Name)
+		if err := binary.Write(&buf, binary.LittleEndian, d.Len); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, int64(len(nc.vars))); err != nil {
+		return nil, err
+	}
+	for _, v := range nc.vars {
+		writeStr(&buf, v.Name)
+		if err := binary.Write(&buf, binary.LittleEndian, v.ElemSize); err != nil {
+			return nil, err
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, int64(len(v.Dims))); err != nil {
+			return nil, err
+		}
+		for _, dn := range v.Dims {
+			writeStr(&buf, dn)
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, v.Offset); err != nil {
+			return nil, err
+		}
+	}
+	if buf.Len() > HeaderSize {
+		return nil, fmt.Errorf("netcdflite: header (%d bytes) exceeds region", buf.Len())
+	}
+	out := make([]byte, HeaderSize)
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+func (nc *File) decodeHeader(raw []byte) error {
+	if len(raw) < 12 || !bytes.Equal(raw[:4], magic[:]) {
+		return fmt.Errorf("netcdflite: bad magic — not a netcdflite file")
+	}
+	rd := bytes.NewReader(raw[4:])
+	var nd int64
+	if err := binary.Read(rd, binary.LittleEndian, &nd); err != nil {
+		return err
+	}
+	if nd < 0 || nd > 1<<10 {
+		return fmt.Errorf("netcdflite: implausible dimension count %d", nd)
+	}
+	for i := int64(0); i < nd; i++ {
+		name, err := readStr(rd)
+		if err != nil {
+			return err
+		}
+		var length int64
+		if err := binary.Read(rd, binary.LittleEndian, &length); err != nil {
+			return err
+		}
+		nc.dims = append(nc.dims, Dim{Name: name, Len: length})
+	}
+	var nv int64
+	if err := binary.Read(rd, binary.LittleEndian, &nv); err != nil {
+		return err
+	}
+	if nv < 0 || nv > 1<<12 {
+		return fmt.Errorf("netcdflite: implausible variable count %d", nv)
+	}
+	for i := int64(0); i < nv; i++ {
+		var v Var
+		var err error
+		if v.Name, err = readStr(rd); err != nil {
+			return err
+		}
+		if err := binary.Read(rd, binary.LittleEndian, &v.ElemSize); err != nil {
+			return err
+		}
+		var ndims int64
+		if err := binary.Read(rd, binary.LittleEndian, &ndims); err != nil {
+			return err
+		}
+		for k := int64(0); k < ndims; k++ {
+			dn, err := readStr(rd)
+			if err != nil {
+				return err
+			}
+			v.Dims = append(v.Dims, dn)
+		}
+		if err := binary.Read(rd, binary.LittleEndian, &v.Offset); err != nil {
+			return err
+		}
+		nc.vars = append(nc.vars, v)
+		if end := v.Offset + nc.Elems(v)*v.ElemSize; end > nc.nextOff {
+			nc.nextOff = end
+		}
+	}
+	return nil
+}

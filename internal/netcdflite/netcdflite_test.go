@@ -1,0 +1,253 @@
+package netcdflite
+
+import (
+	"bytes"
+	"testing"
+
+	"univistor/internal/core"
+	"univistor/internal/mpi"
+	"univistor/internal/mpiio"
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+// memFile is an in-memory mpiio.File for format tests.
+type memFile struct{ buf []byte }
+
+func (m *memFile) Name() string { return "mem" }
+func (m *memFile) WriteAt(off, size int64, data []byte) error {
+	if end := off + size; int64(len(m.buf)) < end {
+		g := make([]byte, end)
+		copy(g, m.buf)
+		m.buf = g
+	}
+	if data != nil {
+		copy(m.buf[off:off+size], data)
+	}
+	return nil
+}
+func (m *memFile) ReadAt(off, size int64) ([]byte, error) {
+	out := make([]byte, size)
+	if off < int64(len(m.buf)) {
+		copy(out, m.buf[off:])
+	}
+	return out, nil
+}
+func (m *memFile) Close() error { return nil }
+
+func solo(t *testing.T, fn func(r *mpi.Rank)) {
+	t.Helper()
+	tc := topology.Cori()
+	tc.Nodes = 1
+	tc.CoresPerNode = 4
+	tc.BBNodes = 1
+	tc.OSTs = 2
+	e := sim.NewEngine()
+	w := mpi.NewWorld(e, topology.New(e, tc), schedule.CFS)
+	w.Launch("app", 1, fn, mpi.LaunchOpts{RanksPerNode: 1})
+	e.Run()
+}
+
+func TestDefineWriteReadRoundTrip(t *testing.T) {
+	solo(t, func(r *mpi.Rank) {
+		mf := &memFile{}
+		nc := Create(r, mf, true)
+		if err := nc.DefDim("particles", 1000); err != nil {
+			t.Fatalf("DefDim: %v", err)
+		}
+		if err := nc.DefVar("x", 4, "particles"); err != nil {
+			t.Fatalf("DefVar: %v", err)
+		}
+		if err := nc.DefVar("energy", 8, "particles"); err != nil {
+			t.Fatalf("DefVar energy: %v", err)
+		}
+		if err := nc.EndDef(); err != nil {
+			t.Fatalf("EndDef: %v", err)
+		}
+		payload := bytes.Repeat([]byte{0x5A}, 40)
+		if err := nc.PutVara("x", 100, 10, payload); err != nil {
+			t.Fatalf("PutVara: %v", err)
+		}
+		if err := nc.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		nc2, err := Open(r, mf, true)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		got, err := nc2.GetVara("x", 100, 10)
+		if err != nil {
+			t.Fatalf("GetVara: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("round trip mismatch")
+		}
+		v, ok := nc2.VarInfo("energy")
+		if !ok {
+			t.Fatal("energy variable lost")
+		}
+		if v.Offset != HeaderSize+4000 {
+			t.Errorf("energy offset = %d, want %d (packed after x)", v.Offset, HeaderSize+4000)
+		}
+		if nc2.Elems(v) != 1000 {
+			t.Errorf("energy elems = %d", nc2.Elems(v))
+		}
+	})
+}
+
+func TestMultiDimensionalVariables(t *testing.T) {
+	solo(t, func(r *mpi.Rank) {
+		nc := Create(r, &memFile{}, true)
+		nc.DefDim("x", 10)
+		nc.DefDim("y", 20)
+		if err := nc.DefVar("grid", 8, "x", "y"); err != nil {
+			t.Fatalf("DefVar: %v", err)
+		}
+		nc.EndDef()
+		v, _ := nc.VarInfo("grid")
+		if nc.Elems(v) != 200 {
+			t.Errorf("grid elems = %d, want 200", nc.Elems(v))
+		}
+		if err := nc.PutVara("grid", 199, 1, nil); err != nil {
+			t.Errorf("PutVara at last element: %v", err)
+		}
+		if err := nc.PutVara("grid", 200, 1, nil); err == nil {
+			t.Error("PutVara past the variable accepted")
+		}
+	})
+}
+
+func TestDefineModeRules(t *testing.T) {
+	solo(t, func(r *mpi.Rank) {
+		nc := Create(r, &memFile{}, true)
+		if err := nc.DefDim("", 5); err == nil {
+			t.Error("empty dimension name accepted")
+		}
+		if err := nc.DefDim("d", 0); err == nil {
+			t.Error("zero-length dimension accepted")
+		}
+		nc.DefDim("d", 5)
+		if err := nc.DefDim("d", 6); err == nil {
+			t.Error("duplicate dimension accepted")
+		}
+		if err := nc.DefVar("v", 4, "missing"); err == nil {
+			t.Error("variable with undefined dimension accepted")
+		}
+		nc.DefVar("v", 4, "d")
+		if err := nc.DefVar("v", 4, "d"); err == nil {
+			t.Error("duplicate variable accepted")
+		}
+		if err := nc.PutVara("v", 0, 1, nil); err == nil {
+			t.Error("PutVara before EndDef accepted")
+		}
+		nc.EndDef()
+		if err := nc.DefDim("late", 1); err == nil {
+			t.Error("DefDim after EndDef accepted")
+		}
+		if err := nc.EndDef(); err == nil {
+			t.Error("double EndDef accepted")
+		}
+	})
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	solo(t, func(r *mpi.Rank) {
+		mf := &memFile{buf: make([]byte, HeaderSize)}
+		if _, err := Open(r, mf, true); err == nil {
+			t.Error("garbage header opened")
+		}
+	})
+}
+
+func TestCloseWritesHeaderImplicitly(t *testing.T) {
+	solo(t, func(r *mpi.Rank) {
+		mf := &memFile{}
+		nc := Create(r, mf, true)
+		nc.DefDim("d", 3)
+		nc.DefVar("v", 4, "d")
+		if err := nc.Close(); err != nil { // no explicit EndDef
+			t.Fatalf("Close: %v", err)
+		}
+		nc2, err := Open(r, mf, true)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if _, ok := nc2.VarInfo("v"); !ok {
+			t.Error("variable lost without explicit EndDef")
+		}
+	})
+}
+
+// End-to-end over UniviStor: two ranks writing halves of one variable.
+func TestNetCDFOverUniviStor(t *testing.T) {
+	tc := topology.Cori()
+	tc.Nodes = 2
+	tc.CoresPerNode = 8
+	tc.DRAMPerNode = 64 << 20
+	tc.BBNodes = 2
+	tc.OSTs = 8
+	e := sim.NewEngine()
+	w := mpi.NewWorld(e, topology.New(e, tc), schedule.InterferenceAware)
+	sys := newTestSystem(t, w)
+	drv := mpiio.NewUniviStorDriver(sys)
+	env, _ := mpiio.NewEnv("univistor", drv)
+	var got []byte
+	want := bytes.Repeat([]byte{3}, 500*4)
+	app := w.Launch("app", 2, func(r *mpi.Rank) {
+		f, err := env.Open(r, "out.nc", mpiio.WriteOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		nc := Create(r, f, true)
+		nc.DefDim("n", 1000)
+		nc.DefVar("temp", 4, "n")
+		nc.EndDef()
+		fill := bytes.Repeat([]byte{byte(3)}, 500*4)
+		if err := nc.PutVara("temp", int64(r.Rank())*500, 500, fill); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		nc.Close()
+
+		rf, _ := env.Open(r, "out.nc", mpiio.ReadOnly)
+		nc2, err := Open(r, rf, true)
+		if err != nil {
+			t.Errorf("container open: %v", err)
+			return
+		}
+		if r.Rank() == 0 {
+			got, err = nc2.GetVara("temp", 500, 500) // the other rank's half
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+		}
+		nc2.Close()
+		drv.Disconnect(r)
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	e.Go("janitor", func(p *sim.Proc) {
+		app.Wait(p)
+		sys.Shutdown()
+	})
+	e.Run()
+	if e.Deadlocked() != 0 {
+		t.Fatalf("deadlocked: %d", e.Deadlocked())
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("cross-rank variable read mismatch")
+	}
+}
+
+// newTestSystem builds a small UniviStor deployment for the e2e test.
+func newTestSystem(t *testing.T, w *mpi.World) *core.System {
+	t.Helper()
+	cc := core.DefaultConfig()
+	cc.ChunkSize = 1 << 20
+	cc.MetaRangeSize = 16 << 20
+	sys, err := core.NewSystem(w, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}

@@ -1,0 +1,618 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with a virtual clock, cooperative processes, and fluid-flow bandwidth
+// resources using max-min fair sharing.
+//
+// The engine executes at most one process at a time: a dispatcher pops the
+// earliest event from the event heap, advances the virtual clock, and resumes
+// the process (or runs the callback) attached to the event. A resumed process
+// runs until it blocks again in an engine-aware operation (Sleep, Transfer,
+// Mailbox.Recv, WaitGroup.Wait, ...). Because processes never run
+// concurrently and ties are broken by event sequence number, simulations are
+// fully deterministic.
+//
+// Processes must not block on ordinary Go primitives; all waiting must go
+// through the engine so that virtual time can advance.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"os"
+	"sync/atomic"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Infinity is a time later than any event the engine will ever schedule.
+const Infinity Time = Time(math.MaxFloat64)
+
+// completionQuantum is the virtual-time window within which flow
+// completions are batched (see completeFlows). 20 µs is far below every
+// modelled latency, so measurements are unaffected, while synchronized
+// fan-outs (thousands of ranks finishing near-together) collapse into a
+// handful of allocation rounds.
+const completionQuantum = 2e-5
+
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+func (h eventHeap) empty() bool  { return len(h) == 0 }
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    int64
+
+	idle chan struct{} // signalled by a proc when it parks or exits
+
+	procSeq        int64
+	parked         int // procs currently parked (alive but blocked)
+	flows          flowSet
+	flowGen        int64 // invalidates stale flow-completion events
+	tracing        bool
+	traceFn        func(t Time, format string, args ...any)
+	finished       bool
+	recomputeCount int64
+	recomputeWork  int64
+}
+
+// debugRecompute enables recompute-rate diagnostics (set via UNIVISTOR_SIM_DEBUG).
+var debugRecompute = os.Getenv("UNIVISTOR_SIM_DEBUG") != ""
+
+// NewEngine returns an empty simulation at virtual time zero.
+func NewEngine() *Engine {
+	e := &Engine{idle: make(chan struct{})}
+	e.flows.e = e
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTrace installs a trace callback invoked by Tracef. Passing nil disables
+// tracing.
+func (e *Engine) SetTrace(fn func(t Time, format string, args ...any)) {
+	e.traceFn = fn
+	e.tracing = fn != nil
+}
+
+// Tracef emits a trace line when tracing is enabled.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.tracing {
+		e.traceFn(e.now, format, args...)
+	}
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+Time(d), fn) }
+
+// Proc is a simulated process: a goroutine whose blocking operations are
+// mediated by the engine.
+type Proc struct {
+	e    *Engine
+	id   int64
+	name string
+	wake chan struct{}
+	dead bool
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the engine-unique process id.
+func (p *Proc) ID() int64 { return p.id }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Go spawns a new simulated process running fn. The process starts at the
+// current virtual time, after the caller blocks or returns. Go may be called
+// before Run or from inside a running process.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{e: e, id: e.procSeq, name: name, wake: make(chan struct{})}
+	e.At(e.now, func() {
+		go func() {
+			defer func() {
+				p.dead = true
+				e.idle <- struct{}{}
+			}()
+			<-p.wake
+			fn(p)
+		}()
+		p.wake <- struct{}{}
+		<-e.idle
+	})
+	return p
+}
+
+// park blocks the calling process until the dispatcher resumes it. Every
+// park must be paired with exactly one prior or future resume/resumeAt.
+func (p *Proc) park() {
+	p.e.parked++
+	p.e.idle <- struct{}{}
+	<-p.wake
+}
+
+// resume schedules the parked process to continue at the current virtual
+// time. It must only be called from dispatcher or process context (both are
+// serialized, so no locking is needed).
+func (p *Proc) resume() { p.resumeAt(p.e.now) }
+
+// resumeAt schedules the parked process to continue at absolute time t.
+func (p *Proc) resumeAt(t Time) {
+	e := p.e
+	e.At(t, func() {
+		e.parked--
+		p.wake <- struct{}{}
+		<-e.idle
+	})
+}
+
+// Park blocks the process until some other process or event callback calls
+// Resume. It is the building block for external synchronization primitives;
+// every Park must be matched by exactly one Resume.
+func (p *Proc) Park() { p.park() }
+
+// Resume schedules a parked process to continue at the current virtual
+// time. Calling Resume on a process that is not parked (or twice for one
+// Park) corrupts the scheduler; external primitives must track waiters.
+func (p *Proc) Resume() { p.resume() }
+
+// Sleep suspends the process for d seconds of virtual time. A non-positive d
+// returns immediately without yielding.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		return
+	}
+	p.resumeAt(p.e.now + Time(d))
+	p.park()
+}
+
+// Yield lets every other event scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() {
+	p.resumeAt(p.e.now)
+	p.park()
+}
+
+// Run executes the simulation until no events remain. It returns the final
+// virtual time. If processes remain parked when the event queue drains, they
+// are deadlocked; Run returns and Deadlocked reports how many.
+func (e *Engine) Run() Time {
+	for !e.events.empty() {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.t > e.now {
+			e.flows.advance(ev.t)
+			e.now = ev.t
+		}
+		ev.fn()
+	}
+	e.finished = true
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline and returns the virtual time
+// reached.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for !e.events.empty() && e.events.peek().t <= deadline {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.t > e.now {
+			e.flows.advance(ev.t)
+			e.now = ev.t
+		}
+		ev.fn()
+	}
+	if deadline > e.now {
+		e.flows.advance(deadline)
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Deadlocked returns the number of processes still parked after Run drained
+// the event queue. A non-zero value indicates processes waiting on
+// communication that can never arrive.
+func (e *Engine) Deadlocked() int {
+	if !e.finished {
+		return 0
+	}
+	return e.parked
+}
+
+// ---------------------------------------------------------------------------
+// Fluid-flow bandwidth resources with max-min fair sharing.
+
+// Resource is a capacity-constrained bandwidth resource (a device port, a
+// network link, a storage target). Concurrent flows crossing a resource share
+// its capacity max-min fairly.
+type Resource struct {
+	Name     string
+	Capacity float64 // bytes per second
+
+	id     int64 // creation order; deterministic tie-breaking
+	nflows int   // active flows crossing this resource (maintained by flowSet)
+}
+
+var resourceSeq atomic.Int64
+
+// NewResource returns a resource with the given capacity in bytes/second.
+func NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity must be positive, got %v", name, capacity))
+	}
+	return &Resource{Name: name, Capacity: capacity, id: resourceSeq.Add(1)}
+}
+
+// Utilization returns the fraction of capacity currently allocated, in
+// [0, 1]. It reflects the most recent rate computation.
+func (r *Resource) Utilization(e *Engine) float64 {
+	used := 0.0
+	for _, f := range e.flows.active {
+		for _, fr := range f.resources {
+			if fr == r {
+				used += f.rate
+			}
+		}
+	}
+	return used / r.Capacity
+}
+
+type flow struct {
+	resources []*Resource
+	remaining float64
+	rate      float64
+	p         *Proc
+	done      func() // alternative to waking a proc
+}
+
+type flowSet struct {
+	e      *Engine
+	active []*flow
+	last   Time
+	// dirty marks that the active set changed at the current instant and a
+	// single deferred recompute is scheduled — coalescing the O(flows)
+	// allocation work when thousands of flows start or finish together.
+	dirty bool
+
+	// Reusable allocation scratch (see recompute).
+	scratch map[*Resource]*resState
+	touched []*Resource
+	heapBuf shareHeap
+}
+
+// markDirty schedules one recompute for the current instant.
+func (fs *flowSet) markDirty() {
+	if fs.dirty {
+		return
+	}
+	fs.dirty = true
+	fs.e.At(fs.e.now, func() {
+		if fs.dirty {
+			fs.dirty = false
+			fs.advance(fs.e.now)
+			fs.recompute()
+		}
+	})
+}
+
+// advance progresses all active flows to time t at their current rates.
+func (fs *flowSet) advance(t Time) {
+	dt := float64(t - fs.last)
+	if dt > 0 {
+		for _, f := range fs.active {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	fs.last = t
+}
+
+// shareEntry is a lazy-heap entry for the water-filling allocator.
+type shareEntry struct {
+	share float64
+	res   *Resource
+	ver   int
+}
+
+type shareHeap []shareEntry
+
+func (h shareHeap) Len() int { return len(h) }
+func (h shareHeap) Less(i, j int) bool {
+	if h[i].share != h[j].share {
+		return h[i].share < h[j].share
+	}
+	return h[i].res.id < h[j].res.id
+}
+func (h shareHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *shareHeap) Push(x any)   { *h = append(*h, x.(shareEntry)) }
+func (h *shareHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// resState is the per-resource working state of one allocation round. The
+// structs are reused across rounds (gen-stamped) to keep the allocator
+// allocation-free in steady state.
+type resState struct {
+	remCap float64
+	remCnt int
+	ver    int
+	flows  []*flow
+	gen    int64
+}
+
+// recompute performs max-min fair (water-filling) rate allocation across all
+// active flows, then schedules a completion event for the earliest finisher.
+// Bottleneck selection uses a lazy min-heap of fair shares, so a full
+// allocation costs O(E log R) where E is the total flow-resource degree.
+func (fs *flowSet) recompute() {
+	fs.e.flowGen++
+	if debugRecompute && len(fs.active) > 0 {
+		fs.e.recomputeCount++
+		fs.e.recomputeWork += int64(len(fs.active))
+		if fs.e.recomputeCount%500 == 0 {
+			fmt.Printf("[sim] recompute #%d t=%.4f active=%d work=%dM\n",
+				fs.e.recomputeCount, float64(fs.e.now), len(fs.active), fs.e.recomputeWork/1e6)
+		}
+	}
+	n := len(fs.active)
+	if n == 0 {
+		return
+	}
+	if fs.scratch == nil {
+		fs.scratch = make(map[*Resource]*resState, 64)
+	}
+	states := fs.scratch
+	gen := fs.e.flowGen
+	touched := fs.touched[:0]
+	for _, f := range fs.active {
+		f.rate = -1 // unassigned
+		for _, r := range f.resources {
+			st := states[r]
+			if st == nil {
+				st = &resState{}
+				states[r] = st
+			}
+			if st.gen != gen {
+				st.gen = gen
+				st.remCap = r.Capacity
+				st.remCnt = 0
+				st.ver = 0
+				st.flows = st.flows[:0]
+				touched = append(touched, r)
+			}
+			st.remCnt++
+			st.flows = append(st.flows, f)
+		}
+	}
+	fs.touched = touched
+	h := fs.heapBuf[:0]
+	for _, r := range touched {
+		st := states[r]
+		r.nflows = st.remCnt
+		h = append(h, shareEntry{share: st.remCap / float64(st.remCnt), res: r, ver: 0})
+	}
+	heap.Init(&h)
+	defer func() { fs.heapBuf = h[:0] }()
+	unassigned := n
+	for unassigned > 0 && h.Len() > 0 {
+		e := heap.Pop(&h).(shareEntry)
+		st := states[e.res]
+		if e.ver != st.ver || st.remCnt == 0 {
+			continue // stale entry
+		}
+		// Floor the share so rounding in earlier rounds can never produce a
+		// zero rate, which would stall a flow forever.
+		share := e.share
+		if min := e.res.Capacity * 1e-12; share < min {
+			share = min
+		}
+		// Freeze every unassigned flow crossing the bottleneck, charging its
+		// rate to its other resources and refreshing their heap entries.
+		for _, f := range st.flows {
+			if f.rate >= 0 {
+				continue
+			}
+			f.rate = share
+			unassigned--
+			for _, r := range f.resources {
+				ost := states[r]
+				ost.remCap -= share
+				if ost.remCap < 0 {
+					ost.remCap = 0
+				}
+				ost.remCnt--
+				ost.ver++
+				if r != e.res && ost.remCnt > 0 {
+					heap.Push(&h, shareEntry{share: ost.remCap / float64(ost.remCnt), res: r, ver: ost.ver})
+				}
+			}
+		}
+	}
+	// Earliest completion.
+	bestT := Infinity
+	for _, f := range fs.active {
+		if f.rate <= 0 {
+			continue
+		}
+		t := fs.e.now + Time(f.remaining/f.rate)
+		if t < bestT {
+			bestT = t
+		}
+	}
+	if bestT == Infinity {
+		return
+	}
+	// At large scale, slightly uneven loads spread completions over
+	// thousands of micro-instants, each costing a full reallocation.
+	// Defer the completion event by a small relative slack so the whole
+	// cohort retires in one batch; the ≤2% timing error is far below the
+	// model's fidelity, and small simulations (where unit tests assert
+	// exact times) are left untouched.
+	if len(fs.active) > 1024 {
+		bestT += Time(completionQuantum) + (bestT-fs.e.now)*Time(0.02)
+	}
+	fs.e.At(bestT, func() { fs.e.completeFlows(gen) })
+}
+
+// completeFlows finishes every flow whose remaining bytes have drained. Stale
+// events (from a superseded rate assignment) are ignored via the generation
+// counter.
+func (e *Engine) completeFlows(gen int64) {
+	if gen != e.flowGen || e.flows.dirty {
+		// Stale, or a recompute for this instant is already queued and
+		// will reschedule completions itself.
+		return
+	}
+	e.flows.advance(e.now)
+	var finished []*flow
+	kept := e.flows.active[:0]
+	for _, f := range e.flows.active {
+		// Flows drained to (numerically) zero finish now. Batching of
+		// near-simultaneous completions happens upstream: recompute defers
+		// this event slightly at large scale, so the whole cohort has hit
+		// zero by the time it fires.
+		if f.remaining <= 1e-9*math.Max(1, f.rate) {
+			finished = append(finished, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	e.flows.active = kept
+	for _, f := range finished {
+		if f.p != nil {
+			f.p.resume()
+		}
+		if f.done != nil {
+			done := f.done
+			e.At(e.now, done)
+		}
+	}
+	if len(finished) > 0 {
+		e.flows.markDirty()
+	}
+}
+
+// Transfer moves size bytes across the given resources, blocking the process
+// for the simulated duration. The flow's instantaneous rate is the max-min
+// fair share of the most contended resource on its path. A zero or negative
+// size completes immediately.
+func (p *Proc) Transfer(size float64, resources ...*Resource) {
+	if size <= 0 || len(resources) == 0 {
+		return
+	}
+	e := p.e
+	e.flows.advance(e.now)
+	e.flows.active = append(e.flows.active, &flow{resources: resources, remaining: size, p: p})
+	e.flows.markDirty()
+	p.park()
+}
+
+// StartTransfer starts a transfer that invokes done on completion without
+// blocking any process. It may be called from dispatcher or process context.
+func (e *Engine) StartTransfer(size float64, done func(), resources ...*Resource) {
+	if size <= 0 || len(resources) == 0 {
+		if done != nil {
+			e.At(e.now, done)
+		}
+		return
+	}
+	e.flows.advance(e.now)
+	e.flows.active = append(e.flows.active, &flow{resources: resources, remaining: size, done: done})
+	e.flows.markDirty()
+}
+
+// ActiveFlows returns the number of in-flight fluid transfers.
+func (e *Engine) ActiveFlows() int { return len(e.flows.active) }
+
+// Flow describes one piece of a parallel transfer for TransferAll.
+type Flow struct {
+	Size float64
+	Path []*Resource
+}
+
+// TransferAll starts every flow concurrently and blocks the process until
+// all complete — the model of one I/O call fanned out across several
+// storage targets.
+func (p *Proc) TransferAll(flows []Flow) {
+	pending := 0
+	for _, f := range flows {
+		if f.Size > 0 && len(f.Path) > 0 {
+			pending++
+		}
+	}
+	if pending == 0 {
+		return
+	}
+	e := p.e
+	for _, f := range flows {
+		if f.Size <= 0 || len(f.Path) == 0 {
+			continue
+		}
+		e.StartTransfer(f.Size, func() {
+			pending--
+			if pending == 0 {
+				p.resume()
+			}
+		}, f.Path...)
+	}
+	p.park()
+}
+
+// RecomputeFlows re-runs the max-min allocation, picking up any external
+// change to resource capacities. Callers that mutate Resource.Capacity while
+// flows are active must call this for the change to take effect.
+func (e *Engine) RecomputeFlows() {
+	e.flows.dirty = false // supersedes any queued deferred recompute
+	e.flows.advance(e.now)
+	e.flows.recompute()
+}

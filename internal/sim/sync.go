@@ -1,0 +1,183 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between simulated processes.
+// Send never blocks; Recv blocks the receiving process until a message is
+// available. Multiple receivers are served in the order they blocked.
+type Mailbox struct {
+	e       *Engine
+	name    string
+	queue   []any
+	waiters []*Proc
+}
+
+// NewMailbox returns an empty mailbox bound to the engine.
+func NewMailbox(e *Engine, name string) *Mailbox {
+	return &Mailbox{e: e, name: name}
+}
+
+// Name returns the mailbox name.
+func (m *Mailbox) Name() string { return m.name }
+
+// Len returns the number of queued, undelivered messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Send enqueues v and wakes the oldest waiting receiver, if any. It may be
+// called from process or dispatcher context.
+func (m *Mailbox) Send(v any) {
+	m.queue = append(m.queue, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w.resume()
+	}
+}
+
+// Recv dequeues the oldest message, blocking p until one is available.
+func (m *Mailbox) Recv(p *Proc) any {
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+// TryRecv dequeues the oldest message without blocking. It returns false if
+// the mailbox is empty.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+// WaitGroup counts outstanding pieces of simulated work, like sync.WaitGroup
+// but mediated by the engine.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// Add adjusts the counter by delta. When the counter reaches zero all
+// waiting processes are resumed. Add panics if the counter goes negative.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: WaitGroup counter went negative")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiters {
+			w.resume()
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.park()
+	}
+}
+
+// Semaphore is a counting semaphore for simulated processes, useful to model
+// bounded service concurrency (queue depth, lock tables, ...).
+type Semaphore struct {
+	available int
+	waiters   []*Proc
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{available: n} }
+
+// Acquire takes one permit, blocking p until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.available == 0 {
+		s.waiters = append(s.waiters, p)
+		p.park()
+	}
+	s.available--
+}
+
+// Release returns one permit and wakes the oldest waiter, if any.
+func (s *Semaphore) Release() {
+	s.available++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.resume()
+	}
+}
+
+// Barrier blocks a fixed-size group of processes until all have arrived.
+// It is reusable: after release it resets for the next round.
+type Barrier struct {
+	n       int
+	arrived int
+	round   int64
+	waiters []*Proc
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	return &Barrier{n: n}
+}
+
+// Wait blocks p until n processes have called Wait for the current round.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.round++
+		for _, w := range b.waiters {
+			w.resume()
+		}
+		b.waiters = nil
+		return
+	}
+	round := b.round
+	b.waiters = append(b.waiters, p)
+	for b.round == round {
+		p.park()
+	}
+}
+
+// Event is a one-shot level-triggered signal: Wait blocks until Set has been
+// called; once set, all current and future waiters proceed immediately.
+type Event struct {
+	set     bool
+	waiters []*Proc
+}
+
+// Set marks the event and wakes all waiters. Setting twice is a no-op.
+func (ev *Event) Set() {
+	if ev.set {
+		return
+	}
+	ev.set = true
+	for _, w := range ev.waiters {
+		w.resume()
+	}
+	ev.waiters = nil
+}
+
+// IsSet reports whether the event has fired.
+func (ev *Event) IsSet() bool { return ev.set }
+
+// Wait blocks p until the event is set.
+func (ev *Event) Wait(p *Proc) {
+	for !ev.set {
+		ev.waiters = append(ev.waiters, p)
+		p.park()
+	}
+}

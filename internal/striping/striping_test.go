@@ -1,0 +1,233 @@
+package striping
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPerServerUnitsEq2(t *testing.T) {
+	cases := []struct {
+		maxUnits, servers, alpha, want int
+	}{
+		{248, 31, 8, 8},   // 248/31 = 8 = α
+		{248, 16, 8, 8},   // 15.5 capped at α
+		{248, 124, 8, 2},  // 2 < α
+		{248, 200, 8, 1},  // 1.24 floors to 1
+		{248, 1000, 8, 1}, // below 1 clamps to 1
+	}
+	for _, tc := range cases {
+		if got := PerServerUnits(tc.maxUnits, tc.servers, tc.alpha); got != tc.want {
+			t.Errorf("PerServerUnits(%d, %d, %d) = %d, want %d",
+				tc.maxUnits, tc.servers, tc.alpha, got, tc.want)
+		}
+	}
+}
+
+func TestDumServersEq6PaperExample(t *testing.T) {
+	// Paper example: 512 servers on 248 OSTs. Eq. 6 gives
+	// ceil(512/248) × 248 = 3 × 248 = 744; the paper's printed "724" is a
+	// typo (724 is not a multiple of 248, which Eq. 6 guarantees).
+	if got := DumServers(512, 248); got != 744 {
+		t.Errorf("DumServers(512, 248) = %d, want 744 (3×248)", got)
+	}
+	if got := DumServers(496, 248); got != 496 {
+		t.Errorf("DumServers(496, 248) = %d, want 496 (already a multiple)", got)
+	}
+	if got := DumServers(497, 248); got != 744 {
+		t.Errorf("DumServers(497, 248) = %d, want 744", got)
+	}
+}
+
+func TestAdaptiveCase1DistinctOSTSets(t *testing.T) {
+	p := Params{MaxUnits: 16, Servers: 4, Alpha: 8, FileSize: 1 << 30, MaxStripe: 1 << 30}
+	plan, err := Adaptive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PerServer != 4 { // 16/4 = 4 < α
+		t.Errorf("PerServer = %d, want 4", plan.PerServer)
+	}
+	seen := map[int]int{}
+	for _, a := range plan.Assignments {
+		if len(a.OSTs) != 4 {
+			t.Errorf("server %d has %d OSTs, want 4", a.Server, len(a.OSTs))
+		}
+		for _, o := range a.OSTs {
+			seen[o]++
+		}
+	}
+	// Distinct sets: every OST used exactly once.
+	if len(seen) != 16 {
+		t.Fatalf("OSTs used = %d, want 16 distinct", len(seen))
+	}
+	for o, n := range seen {
+		if n != 1 {
+			t.Errorf("OST %d assigned to %d servers, want 1", o, n)
+		}
+	}
+}
+
+func TestAdaptiveCase1AlphaCapsWidth(t *testing.T) {
+	p := Params{MaxUnits: 248, Servers: 2, Alpha: 8, FileSize: 1 << 30, MaxStripe: 1 << 30}
+	plan, err := Adaptive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PerServer != 8 {
+		t.Errorf("PerServer = %d, want α=8 (124 would add sync overhead)", plan.PerServer)
+	}
+}
+
+func TestAdaptiveCase1StripeSizeEq3(t *testing.T) {
+	p := Params{MaxUnits: 16, Servers: 4, Alpha: 8, FileSize: 1 << 20, MaxStripe: 1 << 30}
+	plan, _ := Adaptive(p)
+	// S_stripe = S_file / (C_servers × C_per_server) = 1 MiB / 16 = 64 KiB.
+	if plan.StripeSize != 1<<16 {
+		t.Errorf("StripeSize = %d, want %d", plan.StripeSize, 1<<16)
+	}
+	// Capped by S_max.
+	p.MaxStripe = 1 << 10
+	plan, _ = Adaptive(p)
+	if plan.StripeSize != 1<<10 {
+		t.Errorf("StripeSize = %d, want S_max %d", plan.StripeSize, 1<<10)
+	}
+}
+
+func TestAdaptiveCase2BalancesLoad(t *testing.T) {
+	// 512 servers, 248 OSTs: Eq. 5 alone leaves 16 OSTs with 3 servers.
+	p := Params{MaxUnits: 248, Servers: 512, Alpha: 8, FileSize: 512 << 20, MaxStripe: 1 << 30}
+	adaptive, err := Adaptive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq5, err := Eq5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, i5 := adaptive.Imbalance(p.MaxUnits), eq5.Imbalance(p.MaxUnits)
+	if ia >= i5 {
+		t.Errorf("adaptive imbalance %v not better than Eq.5 %v", ia, i5)
+	}
+	if i5 < 1.3 {
+		t.Errorf("Eq.5 imbalance %v, expected the 3-vs-2 straggler (≈1.45)", i5)
+	}
+	if ia > 1.1 {
+		t.Errorf("adaptive imbalance %v, want near 1.0", ia)
+	}
+}
+
+func TestEq5EvenWhenDivisible(t *testing.T) {
+	p := Params{MaxUnits: 8, Servers: 16, Alpha: 8, FileSize: 16 << 20, MaxStripe: 1 << 30}
+	eq5, _ := Eq5(p)
+	if imb := eq5.Imbalance(p.MaxUnits); imb != 1.0 {
+		t.Errorf("Eq.5 imbalance %v with divisible counts, want 1.0", imb)
+	}
+}
+
+func TestStripeAllTouchesEveryOST(t *testing.T) {
+	p := Params{MaxUnits: 8, Servers: 2, Alpha: 8, FileSize: 1 << 20, MaxStripe: 1 << 30}
+	plan, err := StripeAll(p, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if len(a.OSTs) != 8 {
+			t.Errorf("server %d touches %d OSTs, want all 8", a.Server, len(a.OSTs))
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{MaxUnits: 0, Servers: 1, Alpha: 1, FileSize: 1, MaxStripe: 1},
+		{MaxUnits: 1, Servers: 0, Alpha: 1, FileSize: 1, MaxStripe: 1},
+		{MaxUnits: 1, Servers: 1, Alpha: 0, FileSize: 1, MaxStripe: 1},
+		{MaxUnits: 1, Servers: 1, Alpha: 1, FileSize: 0, MaxStripe: 1},
+		{MaxUnits: 1, Servers: 1, Alpha: 1, FileSize: 1, MaxStripe: 0},
+	}
+	for i, p := range bad {
+		if _, err := Adaptive(p); err == nil {
+			t.Errorf("case %d: Adaptive accepted invalid params", i)
+		}
+		if _, err := Eq5(p); err == nil {
+			t.Errorf("case %d: Eq5 accepted invalid params", i)
+		}
+		if _, err := StripeAll(p, 1); err == nil {
+			t.Errorf("case %d: StripeAll accepted invalid params", i)
+		}
+	}
+}
+
+// Property: every plan's assignments cover exactly FileSize bytes, every
+// assignment has at least one OST in range, and adaptive case-1 plans never
+// exceed α OSTs per server.
+func TestPlanInvariantsProperty(t *testing.T) {
+	prop := func(unitsRaw, serversRaw uint8, sizeRaw uint32) bool {
+		p := Params{
+			MaxUnits:  int(unitsRaw)%64 + 1,
+			Servers:   int(serversRaw)%128 + 1,
+			Alpha:     8,
+			FileSize:  int64(sizeRaw)%(1<<24) + 1,
+			MaxStripe: 1 << 20,
+		}
+		for _, mk := range []func(Params) (Plan, error){
+			Adaptive, Eq5,
+			func(p Params) (Plan, error) { return StripeAll(p, 1<<16) },
+		} {
+			plan, err := mk(p)
+			if err != nil {
+				return false
+			}
+			var total int64
+			for _, a := range plan.Assignments {
+				total += a.Bytes
+				if len(a.OSTs) == 0 || len(a.OSTs) > p.MaxUnits {
+					return false
+				}
+				for _, o := range a.OSTs {
+					if o < 0 || o >= p.MaxUnits {
+						return false
+					}
+				}
+				if a.StripeSize <= 0 {
+					return false
+				}
+			}
+			if total != p.FileSize {
+				return false
+			}
+			if plan.Policy == "adaptive" && p.Servers < p.MaxUnits && plan.PerServer > p.Alpha {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adaptive is never less balanced than Eq. 5.
+func TestAdaptiveNeverWorseThanEq5Property(t *testing.T) {
+	prop := func(unitsRaw, serversRaw uint8) bool {
+		units := int(unitsRaw)%32 + 2
+		servers := units + int(serversRaw)%256 // case 2 territory
+		p := Params{MaxUnits: units, Servers: servers, Alpha: 8,
+			FileSize: 1 << 26, MaxStripe: 1 << 30}
+		a, err := Adaptive(p)
+		if err != nil {
+			return false
+		}
+		e, err := Eq5(p)
+		if err != nil {
+			return false
+		}
+		// Allow a small tolerance: stripe-boundary fragments can leave the
+		// adaptive plan a hair above perfectly balanced while divisible Eq.5
+		// configurations are exactly 1.0.
+		return a.Imbalance(units) <= e.Imbalance(units)+0.05
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

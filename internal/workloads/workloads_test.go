@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"testing"
+
+	"univistor/internal/core"
+	"univistor/internal/mpi"
+	"univistor/internal/mpiio"
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+const mib = int64(1) << 20
+
+func testStack(t *testing.T) (*mpi.World, *mpiio.Env, *mpiio.UniviStorDriver) {
+	t.Helper()
+	tc := topology.Cori()
+	tc.Nodes = 2
+	tc.CoresPerNode = 8
+	tc.DRAMPerNode = 256 * mib
+	tc.BBNodes = 2
+	tc.BBCapPerNode = 512 * mib
+	tc.BBStripeSize = 1 * mib
+	tc.OSTs = 8
+	e := sim.NewEngine()
+	w := mpi.NewWorld(e, topology.New(e, tc), schedule.InterferenceAware)
+	cc := core.DefaultConfig()
+	cc.ChunkSize = 1 * mib
+	cc.MetaRangeSize = 16 * mib
+	sys, err := core.NewSystem(w, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := mpiio.NewUniviStorDriver(sys)
+	env, err := mpiio.NewEnv("univistor", drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, env, drv
+}
+
+func runAll(t *testing.T, w *mpi.World, drv *mpiio.UniviStorDriver, jobs ...*mpi.Comm) {
+	t.Helper()
+	w.E.Go("janitor", func(p *sim.Proc) {
+		for _, j := range jobs {
+			j.Wait(p)
+		}
+		drv.Sys.Shutdown()
+	})
+	w.E.Run()
+	if d := w.E.Deadlocked(); d != 0 {
+		t.Fatalf("%d processes deadlocked", d)
+	}
+}
+
+func TestMicroWriteReadStats(t *testing.T) {
+	w, env, drv := testStack(t)
+	cfg := MicroConfig{BytesPerRank: 4 * mib, SegmentBytes: 1 * mib}
+	var ws, rs MicroStats
+	app := w.Launch("app", 2, func(r *mpi.Rank) {
+		var err error
+		ws, err = MicroWrite(r, env, cfg)
+		if err != nil {
+			t.Errorf("write: %v", err)
+		}
+		r.Barrier()
+		rs, err = MicroRead(r, env, cfg)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		drv.Disconnect(r)
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	runAll(t, w, drv, app)
+	if ws.IOTime <= 0 || ws.Total() < ws.IOTime {
+		t.Errorf("write stats inconsistent: %+v", ws)
+	}
+	if rs.IOTime <= 0 {
+		t.Errorf("read stats inconsistent: %+v", rs)
+	}
+}
+
+func TestMicroConfigDefaults(t *testing.T) {
+	cfg := MicroConfig{BytesPerRank: 10}
+	cfg.defaults()
+	if cfg.FileName != "micro.h5" {
+		t.Errorf("default FileName = %q", cfg.FileName)
+	}
+	if cfg.SegmentBytes != 10 {
+		t.Errorf("default SegmentBytes = %d, want whole block", cfg.SegmentBytes)
+	}
+	cfg2 := MicroConfig{BytesPerRank: 10, SegmentBytes: 100}
+	cfg2.defaults()
+	if cfg2.SegmentBytes != 10 {
+		t.Errorf("oversized SegmentBytes not clamped: %d", cfg2.SegmentBytes)
+	}
+}
+
+func TestVPICLayoutMatchesPaper(t *testing.T) {
+	cfg := DefaultVPIC(5)
+	if got := cfg.BytesPerRankStep(); got != 256*mib {
+		t.Errorf("per-rank step bytes = %d, want 256 MiB (8 M particles × 8 props × 4 B)", got)
+	}
+	if cfg.StepFile(3) != "vpic-003.h5" {
+		t.Errorf("StepFile = %q", cfg.StepFile(3))
+	}
+}
+
+func TestVPICWritesAllStepsAndProps(t *testing.T) {
+	w, env, drv := testStack(t)
+	cfg := DefaultVPIC(2)
+	cfg.ParticlesPerRank = 1 << 15 // 1 MiB/rank/step
+	cfg.ComputeSeconds = 1
+	var stats VPICStats
+	app := w.Launch("vpic", 4, func(r *mpi.Rank) {
+		st, err := RunVPIC(r, env, cfg)
+		if err != nil {
+			t.Errorf("vpic: %v", err)
+			return
+		}
+		if r.Rank() == 0 {
+			stats = st
+		}
+		drv.Disconnect(r)
+	}, mpi.LaunchOpts{RanksPerNode: 2})
+	runAll(t, w, drv, app)
+	if len(stats.StepIOTime) != 2 {
+		t.Fatalf("recorded %d steps", len(stats.StepIOTime))
+	}
+	// Both step files exist with the full dataset payload laid out.
+	for step := 0; step < 2; step++ {
+		size, ok := drv.Sys.FileSize(cfg.StepFile(step))
+		if !ok {
+			t.Fatalf("step file %d missing", step)
+		}
+		want := cfg.BytesPerRankStep()*4 + 64<<10 // data + metadata region
+		if size != want {
+			t.Errorf("step %d size = %d, want %d", step, size, want)
+		}
+	}
+	// The compute phase separates the two steps' I/O.
+	if stats.LastClose < sim.Time(cfg.ComputeSeconds) {
+		t.Errorf("last close at %v, before the compute phase elapsed", stats.LastClose)
+	}
+}
+
+func TestBDCATSReadsWhatVPICWrote(t *testing.T) {
+	w, env, drv := testStack(t)
+	cfg := DefaultVPIC(2)
+	cfg.ParticlesPerRank = 1 << 15
+	cfg.ComputeSeconds = 0
+	var bdStats BDCATSStats
+	vpic := w.Launch("vpic", 2, func(r *mpi.Rank) {
+		if _, err := RunVPIC(r, env, cfg); err != nil {
+			t.Errorf("vpic: %v", err)
+		}
+		drv.Disconnect(r)
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	// Sequential: analysis starts after the producer exits.
+	w.E.Go("sequencer", func(p *sim.Proc) {
+		vpic.Wait(p)
+		bd := w.Launch("bdcats", 2, func(r *mpi.Rank) {
+			st, err := RunBDCATS(r, env, BDCATSConfig{VPIC: cfg, WritersN: 2, Collective: true})
+			if err != nil {
+				t.Errorf("bdcats: %v", err)
+				return
+			}
+			if r.Rank() == 0 {
+				bdStats = st
+			}
+			drv.Disconnect(r)
+		}, mpi.LaunchOpts{RanksPerNode: 1})
+		w.E.Go("janitor", func(p2 *sim.Proc) {
+			bd.Wait(p2)
+			drv.Sys.Shutdown()
+		})
+	})
+	w.E.Run()
+	if d := w.E.Deadlocked(); d != 0 {
+		t.Fatalf("%d deadlocked", d)
+	}
+	if len(bdStats.StepIOTime) != 2 || bdStats.TotalIO <= 0 {
+		t.Errorf("bdcats stats: %+v", bdStats)
+	}
+}
+
+func TestVPICValidation(t *testing.T) {
+	w, env, drv := testStack(t)
+	bad := DefaultVPIC(0)
+	app := w.Launch("vpic", 1, func(r *mpi.Rank) {
+		if _, err := RunVPIC(r, env, bad); err == nil {
+			t.Error("zero-step config accepted")
+		}
+		drv.Disconnect(r)
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	runAll(t, w, drv, app)
+}
+
+func TestPropNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := 0; p < 10; p++ {
+		n := propName(p)
+		if n == "" || seen[n] {
+			t.Errorf("prop %d name %q empty or duplicate", p, n)
+		}
+		seen[n] = true
+	}
+}

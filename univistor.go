@@ -1,0 +1,233 @@
+// Package univistor is the public entry point of the UniviStor
+// reproduction: a unified hierarchical and distributed storage service for
+// HPC (Wang, Byna, Dong, Tang — IEEE CLUSTER 2018), implemented over a
+// deterministic discrete-event simulation of a Cori-class supercomputer.
+//
+// A Cluster bundles the simulated machine, the UniviStor server deployment,
+// and the MPI-IO driver stack. Applications are Go closures launched as
+// simulated parallel jobs; their file I/O goes through the same client
+// library, placement, metadata, and flush paths the paper describes, with
+// virtual time supplying the performance numbers.
+//
+//	c, _ := univistor.New(univistor.Defaults())
+//	job := c.Launch("app", 8, func(a *univistor.App) {
+//	    f, _ := a.Create("data/particles.h5")
+//	    f.WriteAt(int64(a.Rank())<<20, 1<<20, payload)
+//	    f.Close()
+//	})
+//	c.Run(job)
+//
+// The internal packages remain available for fine-grained control; this
+// package wires them together with sensible defaults.
+package univistor
+
+import (
+	"fmt"
+
+	"univistor/internal/bench"
+	"univistor/internal/core"
+	"univistor/internal/mpi"
+	"univistor/internal/mpiio"
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Machine describes the simulated hardware. Zero value uses the Cori
+	// preset scaled by Nodes.
+	Machine topology.Config
+	// Service configures UniviStor itself (servers per node, cache tiers,
+	// optimizations). Zero value uses core.DefaultConfig.
+	Service core.Config
+	// InterferenceAware selects the placement policy; it is kept in sync
+	// with Service.InterferenceAware.
+	InterferenceAware bool
+}
+
+// Defaults returns the evaluation configuration: a 16-node Cori slice, two
+// servers per node, DRAM+BB caching, every optimization on.
+func Defaults() Options {
+	m := topology.Cori()
+	m.Nodes = 16
+	m.BBNodes = 8
+	return Options{Machine: m, Service: core.DefaultConfig(), InterferenceAware: true}
+}
+
+// Cluster is a running UniviStor deployment on a simulated machine.
+type Cluster struct {
+	Engine  *sim.Engine
+	World   *mpi.World
+	System  *core.System
+	Driver  *mpiio.UniviStorDriver
+	Env     *mpiio.Env
+	Machine *topology.Cluster
+}
+
+// New builds the simulated machine and launches the UniviStor servers.
+func New(opts Options) (*Cluster, error) {
+	if opts.Machine.Nodes == 0 {
+		opts.Machine = Defaults().Machine
+	}
+	if opts.Service.ServersPerNode == 0 {
+		opts.Service = core.DefaultConfig()
+	}
+	opts.Service.InterferenceAware = opts.InterferenceAware
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine()
+	machine := topology.New(e, opts.Machine)
+	policy := schedule.CFS
+	if opts.InterferenceAware {
+		policy = schedule.InterferenceAware
+	}
+	w := mpi.NewWorld(e, machine, policy)
+	sys, err := core.NewSystem(w, opts.Service)
+	if err != nil {
+		return nil, err
+	}
+	drv := mpiio.NewUniviStorDriver(sys)
+	env, err := mpiio.NewEnv("univistor", drv)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Engine: e, World: w, System: sys, Driver: drv, Env: env, Machine: machine}, nil
+}
+
+// App is the per-rank context handed to application code.
+type App struct {
+	c *Cluster
+	r *mpi.Rank
+}
+
+// Rank returns the process's rank within its job.
+func (a *App) Rank() int { return a.r.Rank() }
+
+// Size returns the job's process count.
+func (a *App) Size() int { return a.r.Size() }
+
+// Node returns the compute node the rank runs on.
+func (a *App) Node() int { return a.r.Node() }
+
+// Now returns the current virtual time in seconds.
+func (a *App) Now() float64 { return float64(a.r.Now()) }
+
+// Compute advances virtual time by d seconds of computation.
+func (a *App) Compute(d float64) { a.r.Compute(d) }
+
+// Barrier synchronizes all ranks of the job.
+func (a *App) Barrier() { a.r.Barrier() }
+
+// MPIRank exposes the underlying simulated MPI rank for advanced use.
+func (a *App) MPIRank() *mpi.Rank { return a.r }
+
+// File is an open handle in the unified namespace.
+type File = mpiio.File
+
+// Create opens a file for writing through UniviStor (collective: every
+// rank of the job must call it with the same name).
+func (a *App) Create(name string) (File, error) {
+	return a.c.Env.Open(a.r, name, mpiio.WriteOnly)
+}
+
+// Open opens an existing file for reading (collective).
+func (a *App) Open(name string) (File, error) {
+	return a.c.Env.Open(a.r, name, mpiio.ReadOnly)
+}
+
+// WaitFlush blocks until the named file's pending server-side flush
+// completes.
+func (a *App) WaitFlush(name string) {
+	a.c.System.WaitFlush(a.r.P, name)
+}
+
+// Job is a launched parallel application.
+type Job = mpi.Comm
+
+// Launch starts a parallel job of n ranks executing main. ranksPerNode 0
+// defaults to the node's core count.
+func (c *Cluster) Launch(name string, n int, main func(*App), opt ...LaunchOption) *Job {
+	lo := mpi.LaunchOpts{}
+	for _, o := range opt {
+		o(&lo)
+	}
+	return c.World.Launch(name, n, func(r *mpi.Rank) {
+		main(&App{c: c, r: r})
+		c.Driver.Disconnect(r)
+	}, lo)
+}
+
+// LaunchOption tweaks job placement.
+type LaunchOption func(*mpi.LaunchOpts)
+
+// WithRanksPerNode caps ranks per node.
+func WithRanksPerNode(n int) LaunchOption {
+	return func(o *mpi.LaunchOpts) { o.RanksPerNode = n }
+}
+
+// WithNodes pins the job to specific nodes.
+func WithNodes(nodes ...int) LaunchOption {
+	return func(o *mpi.LaunchOpts) { o.Nodes = append([]int(nil), nodes...) }
+}
+
+// Run drives the simulation until the given jobs complete, then shuts the
+// UniviStor servers down and drains remaining events. It returns the final
+// virtual time and an error if any simulated process deadlocked.
+func (c *Cluster) Run(jobs ...*Job) (float64, error) {
+	c.Engine.Go("univistor-teardown", func(p *sim.Proc) {
+		for _, j := range jobs {
+			j.Wait(p)
+		}
+		c.System.Shutdown()
+	})
+	end := c.Engine.Run()
+	if d := c.Engine.Deadlocked(); d != 0 {
+		return float64(end), fmt.Errorf("univistor: %d simulated processes deadlocked", d)
+	}
+	return float64(end), nil
+}
+
+// FlushStats reports the last completed flush of a file: bytes moved and
+// the flush interval in virtual seconds.
+func (c *Cluster) FlushStats(name string) (bytes int64, seconds float64, ok bool) {
+	b, start, end, ok := c.System.FlushStats(name)
+	if !ok {
+		return 0, 0, false
+	}
+	return b, float64(end - start), true
+}
+
+// FileSize returns a file's logical size.
+func (c *Cluster) FileSize(name string) (int64, bool) { return c.System.FileSize(name) }
+
+// ---------------------------------------------------------------------------
+// Benchmark façade: regenerate the paper's figures.
+
+// BenchOptions re-exports the benchmark sweep options.
+type BenchOptions = bench.Options
+
+// BenchResult re-exports a regenerated figure.
+type BenchResult = bench.Result
+
+// DefaultBench returns the paper-scale sweep (64…8192 processes).
+func DefaultBench() BenchOptions { return bench.DefaultOptions() }
+
+// QuickBench returns a laptop-scale smoke sweep.
+func QuickBench() BenchOptions { return bench.QuickOptions() }
+
+// Figures lists every regenerable figure and ablation id.
+func Figures() []string { return bench.IDs() }
+
+// RunFigure regenerates one figure ("fig5a" … "fig10", "abl-…").
+func RunFigure(id string, o BenchOptions) (*BenchResult, error) {
+	f, ok := bench.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("univistor: unknown figure %q (have %v)", id, bench.IDs())
+	}
+	return f(o), nil
+}
+
+// RunAllFigures regenerates every figure and ablation in paper order.
+func RunAllFigures(o BenchOptions) []*BenchResult { return bench.All(o) }
