@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full CI gate: compile, static checks, race-enabled tests.
+check: build vet race
+
+# Quick paper-figure benchmark sweep.
+bench:
+	$(GO) run ./cmd/univibench -quick -all

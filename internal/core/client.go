@@ -3,11 +3,10 @@ package core
 import (
 	"fmt"
 
-	"univistor/internal/bb"
 	"univistor/internal/logstore"
-	"univistor/internal/lustre"
 	"univistor/internal/meta"
 	"univistor/internal/mpi"
+	"univistor/internal/tier"
 )
 
 // Mode is a file open mode. UniviStor, like the paper's workflow scheme,
@@ -74,9 +73,8 @@ type ClientFile struct {
 	fs   *fileState
 	mode Mode
 
-	ls      *logstore.LogSet // per-process per-tier logs (write mode)
-	bbLog   *bb.File         // BB backing of the TierBB log
-	pfsLog  *lustre.File     // PFS backing of the spill log
+	ls      *logstore.LogSet          // per-process per-tier logs (write mode)
+	devs    [meta.NumTiers]tier.Device // per-tier device backing each log
 	written int64
 	closed  bool
 }
@@ -141,96 +139,56 @@ func (c *Client) acquireLock(name string, mode Mode) {
 
 // setupLogs creates the per-process logs: capacity c/p per tier (§II-B1),
 // where c is the tier's available capacity (node-local pools for DRAM,
-// the whole allocation for BB) and p the process count sharing it.
+// the whole allocation for globally pooled tiers) and p the process count
+// sharing it. Each chain backend provisions its own capacity and binds a
+// device to the resulting log.
 func (cf *ClientFile) setupLogs() error {
 	c := cf.c
 	sys := c.sys
-	cfg := sys.Cfg
-	cluster := sys.W.Cluster
+	node := c.rank.Node()
+	req := tier.ProvisionReq{
+		Node:        node,
+		ProcsOnNode: sys.nodeAppCount[c.rank.Comm().Name()][node],
+		ProcsGlobal: c.rank.Size(),
+	}
+
 	var caps [meta.NumTiers]int64
-	var res reservation
-	res.node = c.rank.Node()
-
-	if cfg.cachesTier(meta.TierDRAM) {
-		node := cluster.Nodes[c.rank.Node()]
-		p := int64(sys.nodeAppCount[c.rank.Comm().Name()][c.rank.Node()])
-		if p < 1 {
-			p = 1
+	for _, bk := range sys.chain.Backends() {
+		if bk.Durable() {
+			continue // the terminal is unbounded, not provisioned
 		}
-		want := cfg.DRAMLogBytes
-		if want <= 0 {
-			want = int64(float64(node.DRAM.Free()) * cfg.DRAMLogFraction / float64(p))
+		got, err := bk.Provision(req)
+		if err != nil {
+			return err
 		}
-		if free := node.DRAM.Free(); want > free {
-			want = free // shrink rather than fail; the log spills sooner
-		}
-		want -= want % cfg.ChunkSize
-		if want > 0 && node.DRAM.Alloc(want) {
-			caps[meta.TierDRAM] = want
-			res.dram = want
-		}
-	}
-	if cfg.cachesTier(meta.TierLocalSSD) {
-		node := cluster.Nodes[c.rank.Node()]
-		if node.SSD.Total() > 0 {
-			p := int64(sys.nodeAppCount[c.rank.Comm().Name()][c.rank.Node()])
-			if p < 1 {
-				p = 1
+		caps[bk.Tier()] = got
+		if got > 0 {
+			rnode := node
+			if bk.Shared() {
+				rnode = -1 // globally pooled
 			}
-			want := node.SSD.Free() / p
-			want -= want % cfg.ChunkSize
-			if want > 0 && node.SSD.Alloc(want) {
-				caps[meta.TierLocalSSD] = want
-			}
+			cf.fs.reservations = append(cf.fs.reservations,
+				reservation{tier: bk.Tier(), node: rnode, bytes: got})
 		}
-	}
-	if cfg.cachesTier(meta.TierBB) && sys.BB != nil {
-		p := int64(c.rank.Size())
-		want := cfg.BBLogBytes
-		if want <= 0 {
-			want = int64(float64(sys.BB.FreeBytes()) * cfg.BBLogFraction / float64(p))
-		}
-		if free := sys.BB.FreeBytes() / p; want > free {
-			want = free
-		}
-		want -= want % cfg.ChunkSize
-		got := sys.reserveBB(want)
-		got -= got % cfg.ChunkSize
-		caps[meta.TierBB] = got
-		res.bbBytes = got
 	}
 
-	ls, err := logstore.NewLogSet(c.globalID, caps, cfg.ChunkSize)
+	ls, err := logstore.NewLogSet(c.globalID, caps, sys.Cfg.ChunkSize)
 	if err != nil {
 		return err
 	}
 	cf.ls = ls
-	if caps[meta.TierBB] > 0 {
-		// The log's space was reserved from the BB pool above; the file
-		// itself must not double-charge it.
-		cf.bbLog = sys.BB.CreateReserved(fmt.Sprintf("uvlog/%d/%d", cf.fs.fid, c.globalID), 1)
+	for _, bk := range sys.chain.Backends() {
+		dev, err := bk.Open(tier.OpenSpec{
+			FID:      int64(cf.fs.fid),
+			Owner:    c.globalID,
+			Capacity: caps[bk.Tier()],
+		})
+		if err != nil {
+			return err
+		}
+		cf.devs[bk.Tier()] = dev
 	}
-	cf.fs.reservations = append(cf.fs.reservations, res)
 	return nil
-}
-
-// pfsSpillLog lazily creates the per-process PFS log for spilled segments.
-func (cf *ClientFile) pfsSpillLog() (*lustre.File, error) {
-	if cf.pfsLog != nil {
-		return cf.pfsLog, nil
-	}
-	count := 4
-	if n := cf.c.sys.PFS.OSTCount(); count > n {
-		count = n
-	}
-	f, err := cf.c.sys.PFS.Create(
-		fmt.Sprintf("uvspill/%d/%d", cf.fs.fid, cf.c.globalID),
-		lustre.StripeSpec{Size: 1 << 20, Count: count, StartOST: lustre.AutoStart}, 1)
-	if err != nil {
-		return nil, err
-	}
-	cf.pfsLog = f
-	return f, nil
 }
 
 // Close closes the handle. It is collective; the root piggybacks the

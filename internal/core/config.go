@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"univistor/internal/meta"
+	"univistor/internal/tier"
 )
 
 // Config selects UniviStor's deployment shape and optimizations. Every
@@ -45,6 +46,12 @@ type Config struct {
 
 	// BBLogBytes is the analogous override for the BB-tier logs.
 	BBLogBytes int64
+
+	// TierLogBytes, when a tier maps to a positive value, fixes that
+	// tier's per-process log size — the generic override newly registered
+	// tiers (e.g. the object store) use instead of dedicated fields. For
+	// DRAM and BB it takes precedence over the legacy fields above.
+	TierLogBytes map[meta.Tier]int64
 
 	// ChunkSize is the log-chunk granularity in bytes.
 	ChunkSize int64
@@ -185,10 +192,18 @@ func (c Config) Validate() error {
 		if t == meta.TierPFS {
 			return fmt.Errorf("core: TierPFS is the implicit final destination, not a cache tier")
 		}
+		if !tier.Registered(t) {
+			return fmt.Errorf("core: no tier backend registered for cache tier %s", t)
+		}
 		if seen[t] {
 			return fmt.Errorf("core: duplicate cache tier %s", t)
 		}
 		seen[t] = true
+	}
+	for t, b := range c.TierLogBytes {
+		if b < 0 {
+			return fmt.Errorf("core: TierLogBytes[%s] must be non-negative, got %d", t, b)
+		}
 	}
 	return nil
 }

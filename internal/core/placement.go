@@ -12,27 +12,29 @@ import (
 
 	"univistor/internal/meta"
 	"univistor/internal/sim"
+	"univistor/internal/tier"
 )
 
 // trackHeat records one access to the segment and promotes it when it
 // crosses the threshold. Runs in the reading process's context.
-func (cf *ClientFile) trackHeat(p *sim.Proc, rec meta.Record, producer *ClientFile, tier meta.Tier) {
+func (cf *ClientFile) trackHeat(p *sim.Proc, rec meta.Record, producer *ClientFile, t meta.Tier) {
+	sys := cf.c.sys
 	fs := cf.fs
 	if fs.heat == nil {
 		fs.heat = map[int64]int{}
 	}
 	fs.heat[rec.Offset]++
-	if tier == meta.TierDRAM || tier == meta.TierLocalSSD {
-		return // already on a fast tier
+	if bk := sys.chain.Backend(t); bk == nil || !bk.Shared() {
+		return // already on a fast private tier
 	}
-	threshold := cf.c.sys.Cfg.PromoteAfterReads
+	threshold := sys.Cfg.PromoteAfterReads
 	if threshold <= 0 {
 		threshold = 2
 	}
 	if fs.heat[rec.Offset] != threshold {
 		return
 	}
-	cf.c.sys.promoteSegment(p, fs, rec, producer)
+	sys.promoteSegment(p, fs, rec, producer)
 }
 
 // promoteSegment migrates one hot segment into the producer's DRAM log.
@@ -43,8 +45,11 @@ func (sys *System) promoteSegment(p *sim.Proc, fs *fileState, rec meta.Record, p
 		return
 	}
 	oldTier, oldAddr, err := producer.ls.Space().Decode(rec.VA)
-	if err != nil || (oldTier != meta.TierBB && oldTier != meta.TierPFS) {
+	if err != nil {
 		return
+	}
+	if bk := sys.chain.Backend(oldTier); bk == nil || !bk.Shared() {
+		return // only segments on shared slow tiers are promoted
 	}
 	newAddr, ok := dlog.Append(rec.Size, nil)
 	if !ok {
@@ -56,18 +61,19 @@ func (sys *System) promoteSegment(p *sim.Proc, fs *fileState, rec meta.Record, p
 	}
 
 	// Data motion: source tier → producer node's DRAM, through the
-	// producer's co-located server.
+	// producer's co-located server. A segment whose device has nothing to
+	// read (e.g. an unspilled PFS log) promotes for free.
 	prodNode := producer.c.rank.Node()
 	srvPort := producer.c.server.Rank.H.MemPort
-	switch oldTier {
-	case meta.TierBB:
-		if producer.bbLog != nil {
-			producer.bbLog.Read(p, prodNode, oldAddr, rec.Size, srvPort)
-		}
-	case meta.TierPFS:
-		if producer.pfsLog != nil {
-			producer.pfsLog.Read(p, prodNode, oldAddr, rec.Size, srvPort)
-		}
+	if dev := producer.devs[oldTier]; dev != nil {
+		dev.Read(p, &tier.ReadOp{
+			Addr:          oldAddr,
+			Size:          rec.Size,
+			ReaderNode:    prodNode,
+			ProducerNode:  prodNode,
+			LocationAware: true,
+			ReaderMemPort: srvPort,
+		})
 	}
 
 	// Recycle the old log's chunks that lie entirely inside the segment

@@ -6,6 +6,7 @@ import (
 	"univistor/internal/kvstore"
 	"univistor/internal/meta"
 	"univistor/internal/sim"
+	"univistor/internal/tier"
 )
 
 // ReadAt reads [off, off+size) of the logical file, returning the payload
@@ -102,7 +103,7 @@ func (cf *ClientFile) fetchSegment(p *sim.Proc, rec meta.Record, off, size int64
 	if producer == nil {
 		return fmt.Errorf("core: no producer handle for proc %d of %q", rec.Proc, fs.name)
 	}
-	tier, addr, err := producer.ls.Space().Decode(rec.VA)
+	t, addr, err := producer.ls.Space().Decode(rec.VA)
 	if err != nil {
 		return err
 	}
@@ -114,66 +115,46 @@ func (cf *ClientFile) fetchSegment(p *sim.Proc, rec meta.Record, off, size int64
 	// Heat tracking for proactive placement: count the access and promote
 	// the segment once it crosses the threshold.
 	if sys.Cfg.ProactivePlacement {
-		defer cf.trackHeat(p, rec, producer, tier)
+		defer cf.trackHeat(p, rec, producer, t)
 	}
 
-	if volatileTier(tier) && sys.failedNodes[prodNode] {
+	if sys.volatile(t) && sys.failedNodes[prodNode] {
 		return cf.fetchFromReplicaOrPFS(p, producer, bytes)
 	}
 
-	switch tier {
-	case meta.TierDRAM, meta.TierLocalSSD:
-		if prodNode == myNode {
-			if la {
-				// Direct local read: no server in the path.
-				sys.stats.BytesReadLocal += bytes
-				p.Transfer(float64(bytes), c.rank.H.MemPath()...)
-			} else {
-				// Extra copy through the co-located server.
-				path := append([]*sim.Resource{c.rank.H.MemPort}, c.server.Rank.H.MemPath()...)
-				p.Transfer(float64(bytes), path...)
-			}
-			return nil
-		}
-		// Remote node-local segment: one round-trip via the producer-side
-		// server (§II-B3), plus a relay through the local server without
-		// the location-aware service.
-		sys.stats.BytesReadRemote += bytes
-		p.Sleep(sys.W.Cluster.Cfg.NetLatency)
-		path := append([]*sim.Resource{}, prodServer.Rank.H.MemPath()...)
-		path = append(path, sys.W.Cluster.NetPath(prodNode, myNode)...)
-		if !la {
-			path = append(path, c.server.Rank.H.MemPort)
-		}
-		path = append(path, c.rank.H.MemPort)
-		p.Transfer(float64(bytes), path...)
-		return nil
-
-	case meta.TierBB:
-		sys.stats.BytesReadShared += bytes
-		var extra []*sim.Resource
-		if !la {
-			extra = append(extra, c.server.Rank.H.MemPort)
-		}
-		extra = append(extra, c.rank.H.MemPort)
-		producer.bbLog.Read(p, myNode, addr, bytes, extra...)
-		return nil
-
-	case meta.TierPFS:
-		sys.stats.BytesReadShared += bytes
-		spill := producer.pfsLog
-		if spill == nil {
-			return fmt.Errorf("core: segment of %q on PFS but producer %d has no spill log", fs.name, rec.Proc)
-		}
-		var extra []*sim.Resource
-		if !la {
-			extra = append(extra, c.server.Rank.H.MemPort)
-		}
-		extra = append(extra, c.rank.H.MemPort)
-		spill.Read(p, myNode, addr, bytes, extra...)
-		return nil
+	dev := producer.devs[t]
+	if dev == nil {
+		return fmt.Errorf("core: segment of %q on %s but producer %d has no device there",
+			fs.name, t, rec.Proc)
 	}
-	return fmt.Errorf("core: unknown tier %v", tier)
+	loc, err := dev.Read(p, &tier.ReadOp{
+		Addr:               addr,
+		Size:               bytes,
+		ReaderNode:         myNode,
+		ProducerNode:       prodNode,
+		LocationAware:      la,
+		ReaderMemPort:      c.rank.H.MemPort,
+		ReaderMemPath:      c.rank.H.MemPath(),
+		ReaderSrvMemPort:   c.server.Rank.H.MemPort,
+		ReaderSrvMemPath:   c.server.Rank.H.MemPath(),
+		ProducerSrvMemPath: prodServer.Rank.H.MemPath(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: reading segment of %q: %w", fs.name, err)
+	}
+	switch loc {
+	case tier.Local:
+		// Only the location-aware direct path counts as a local hit; the
+		// relayed variant is a plain server copy.
+		if la {
+			sys.stats.BytesReadLocal += bytes
+		}
+	case tier.Remote:
+		sys.stats.BytesReadRemote += bytes
+	case tier.Shared:
+		sys.stats.BytesReadShared += bytes
+	}
+	return nil
 }
 
 type byteRange struct {

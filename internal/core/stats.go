@@ -36,10 +36,18 @@ type Stats struct {
 	// Spills counts segments that could not be placed on the fastest
 	// configured tier.
 	Spills int64
+	// DroppedTiers lists configured cache tiers that were dropped at
+	// deployment because their backend is unavailable on the cluster
+	// (e.g. BB caching without a burst-buffer allocation).
+	DroppedTiers []meta.Tier
 }
 
 // Stats returns a snapshot of the system's counters.
-func (sys *System) Stats() Stats { return sys.stats }
+func (sys *System) Stats() Stats {
+	s := sys.stats
+	s.DroppedTiers = append([]meta.Tier(nil), sys.stats.DroppedTiers...)
+	return s
+}
 
 // TotalBytesWritten sums writes across tiers.
 func (s Stats) TotalBytesWritten() int64 {

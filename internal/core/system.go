@@ -13,6 +13,7 @@ import (
 	"univistor/internal/mpi"
 	"univistor/internal/sim"
 	"univistor/internal/striping"
+	"univistor/internal/tier"
 	"univistor/internal/workflow"
 )
 
@@ -31,7 +32,8 @@ type System struct {
 	serverComm *mpi.Comm
 	ring       *kvstore.Ring
 	nodeMeta   []*kvstore.Store // per-node shared metadata buffer (§II-B4)
-	bbReadAgg  *sim.Resource    // aggregate BB read leg for flush pipelines
+	chain      *tier.Chain      // the ordered storage hierarchy, terminal last
+	explain    []string         // deployment decisions (dropped tiers, …)
 
 	files          map[string]*fileState
 	nextFID        meta.FileID
@@ -91,16 +93,17 @@ type fileState struct {
 }
 
 type reservation struct {
-	node    int   // -1 for the shared BB pool
-	dram    int64 // bytes reserved on the node's DRAM pool
-	bbBytes int64 // bytes reserved on the BB pool
+	tier  meta.Tier
+	node  int // -1 for globally pooled tiers
+	bytes int64
 }
 
 // NewSystem builds the UniviStor deployment and launches the server
 // program across all nodes of the cluster (the `univistor-server` job the
 // user starts before their applications). It returns an error on invalid
-// configuration; BB-tier caching is silently dropped when the cluster has
-// no burst-buffer allocation.
+// configuration; cache tiers whose backend is unavailable on the cluster
+// (e.g. BB caching without a burst-buffer allocation) are dropped and
+// recorded in Stats.DroppedTiers and the Explain log.
 func NewSystem(w *mpi.World, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -117,17 +120,31 @@ func NewSystem(w *mpi.World, cfg Config) (*System, error) {
 			return nil, err
 		}
 		sys.BB = bbs
-		sys.bbReadAgg = sim.NewResource("bb-read-agg", bbs.AggregateBW())
-	} else if cfg.cachesTier(meta.TierBB) {
-		// Drop the BB tier rather than fail: the paper's UniviStor/DRAM
-		// mode runs without a BB allocation.
-		var tiers []meta.Tier
-		for _, t := range cfg.CacheTiers {
-			if t != meta.TierBB {
-				tiers = append(tiers, t)
-			}
-		}
-		sys.Cfg.CacheTiers = tiers
+	}
+	chain, err := tier.Build(cfg.CacheTiers, &tier.Env{
+		Cluster: w.Cluster,
+		BB:      sys.BB,
+		PFS:     sys.PFS,
+		Cfg: tier.Params{
+			ChunkSize:       cfg.ChunkSize,
+			DRAMLogFraction: cfg.DRAMLogFraction,
+			DRAMLogBytes:    cfg.DRAMLogBytes,
+			BBLogFraction:   cfg.BBLogFraction,
+			BBLogBytes:      cfg.BBLogBytes,
+			TierLogBytes:    cfg.TierLogBytes,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.chain = chain
+	// The surviving cache tiers are the deployment's effective config
+	// (the paper's UniviStor/DRAM mode runs without a BB allocation).
+	sys.Cfg.CacheTiers = chain.CacheTiers()
+	for _, t := range chain.Dropped() {
+		sys.stats.DroppedTiers = append(sys.stats.DroppedTiers, t)
+		sys.explain = append(sys.explain,
+			fmt.Sprintf("dropped cache tier %s: backend unavailable on this cluster", t))
 	}
 	sys.WF = workflow.NewManager(w.Cluster.Cfg.PFSLatency)
 
@@ -398,29 +415,20 @@ func (s *Server) doFlush(r *mpi.Rank, req *flushReq) {
 	remaining := req.rangeLen
 	// Flush tier by tier, fastest first; the range split across tiers
 	// mirrors the cached byte counts.
-	for _, tier := range []meta.Tier{meta.TierDRAM, meta.TierLocalSSD, meta.TierBB, meta.TierPFS} {
-		bytes := req.tierBytes[tier]
+	for _, bk := range sys.chain.Backends() {
+		bytes := req.tierBytes[bk.Tier()]
 		if bytes <= 0 {
 			continue
 		}
 		if bytes > remaining {
 			bytes = remaining
 		}
-		var readLeg []*sim.Resource
-		switch tier {
-		case meta.TierDRAM:
-			readLeg = r.H.MemPath()
-		case meta.TierLocalSSD:
-			if ssd := sys.W.Cluster.Nodes[s.Node].SSDBW; ssd != nil {
-				readLeg = []*sim.Resource{ssd}
-			}
-		case meta.TierBB:
-			readLeg = []*sim.Resource{sys.bbReadAgg, sys.W.Cluster.Fabric}
-		case meta.TierPFS:
-			// Already on the PFS (spilled there); nothing to move.
+		if bk.Durable() {
+			// Already persistent (spilled there); nothing to move.
 			remaining -= bytes
 			continue
 		}
+		readLeg := bk.FlushLeg(s.Node, r.H.MemPath())
 		if err := req.fs.pfsFile.Write(r.P, s.Node, req.rangeOff+(req.rangeLen-remaining), bytes, readLeg...); err != nil {
 			panic(fmt.Sprintf("core: flush write: %v", err))
 		}
@@ -463,47 +471,17 @@ func (s *Server) finishFlushPart(r *mpi.Rank, fs *fileState) {
 	fs.flushEv.Set()
 }
 
-// releaseBB returns bytes to the BB pool, spread like the reservation was.
-func (sys *System) releaseBB(bytes int64) {
-	nodes := sys.W.Cluster.BB
-	per := bytes / int64(len(nodes))
-	rem := bytes - per*int64(len(nodes))
-	for i, n := range nodes {
-		b := per
-		if int64(i) < rem {
-			b++
-		}
-		if b > n.Cap.Used() {
-			b = n.Cap.Used()
-		}
-		n.Cap.Release(b)
-	}
+// Explain returns the deployment decision log: human-readable lines
+// describing how the configuration was adapted to the cluster (e.g. cache
+// tiers dropped because their backend is unavailable).
+func (sys *System) Explain() []string {
+	out := make([]string, len(sys.explain))
+	copy(out, sys.explain)
+	return out
 }
 
-// reserveBB takes bytes from the BB pool, spread evenly; it returns the
-// bytes actually reserved (shrinking when the pool is low).
-func (sys *System) reserveBB(bytes int64) int64 {
-	if sys.BB == nil || bytes <= 0 {
-		return 0
-	}
-	nodes := sys.W.Cluster.BB
-	per := bytes / int64(len(nodes))
-	rem := bytes - per*int64(len(nodes))
-	var got int64
-	for i, n := range nodes {
-		b := per
-		if int64(i) < rem {
-			b++
-		}
-		if free := n.Cap.Free(); b > free {
-			b = free
-		}
-		if b > 0 && n.Cap.Alloc(b) {
-			got += b
-		}
-	}
-	return got
-}
+// Chain exposes the storage hierarchy (tests and tools).
+func (sys *System) Chain() *tier.Chain { return sys.chain }
 
 // WaitFlush blocks the process until the file's pending flush completes.
 // It returns immediately if no flush is outstanding.

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"univistor/internal/meta"
-	"univistor/internal/sim"
+	"univistor/internal/tier"
 )
 
 // WriteAt writes one segment of the logical file at the given offset. data
@@ -37,7 +37,7 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 	// Hand the request to the co-located server over shared memory.
 	p.Sleep(sys.Cfg.ShmLatency)
 
-	va, tier, err := cf.ls.Append(size, nil, meta.TierPFS)
+	va, placed, err := cf.ls.Append(size, nil, sys.chain.Limit())
 	if err != nil {
 		return err
 	}
@@ -46,35 +46,23 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 		return err
 	}
 
-	// Data-plane cost: where did the segment land?
-	srvPort := c.server.Rank.H.MemPort
-	switch tier {
-	case meta.TierDRAM:
-		// Client buffer → shared-memory log: both the client's and the
-		// server's core ports plus the server's NUMA memory port.
-		path := append([]*sim.Resource{c.rank.H.MemPort},
-			c.server.Rank.H.MemPath()...)
-		p.Transfer(float64(size), path...)
-	case meta.TierLocalSSD:
-		path := []*sim.Resource{c.rank.H.MemPort, srvPort}
-		if ssd := sys.W.Cluster.Nodes[c.rank.Node()].SSDBW; ssd != nil {
-			path = append(path, ssd)
-		}
-		p.Transfer(float64(size), path...)
-	case meta.TierBB:
-		if err := cf.bbLog.Write(p, c.rank.Node(), addr, size, srvPort); err != nil {
-			return err
-		}
-	case meta.TierPFS:
-		spill, err := cf.pfsSpillLog()
-		if err != nil {
-			return err
-		}
-		if err := spill.Write(p, c.rank.Node(), addr, size, srvPort); err != nil {
-			return err
-		}
+	// Data-plane cost: the landing tier's device charges the transfer.
+	dev := cf.devs[placed]
+	if dev == nil {
+		return fmt.Errorf("core: segment of %q landed on %s but proc %d has no device there",
+			cf.fs.name, placed, c.globalID)
 	}
-	if sys.Cfg.ReplicateVolatile && volatileTier(tier) {
+	if err := dev.Write(p, &tier.WriteOp{
+		Node:          c.rank.Node(),
+		Addr:          addr,
+		Size:          size,
+		ClientMemPort: c.rank.H.MemPort,
+		ServerMemPort: c.server.Rank.H.MemPort,
+		ServerMemPath: c.server.Rank.H.MemPath(),
+	}); err != nil {
+		return err
+	}
+	if sys.Cfg.ReplicateVolatile && sys.volatile(placed) {
 		sys.replicate(p, c, size)
 	}
 
@@ -99,11 +87,11 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 		byTier = map[meta.Tier]int64{}
 		cf.fs.cached[c.server.GlobalIdx] = byTier
 	}
-	byTier[tier] += size
+	byTier[placed] += size
 	cf.fs.cachedTotal += size
 	cf.written += size
-	sys.stats.BytesWritten[tier] += size
-	if len(sys.Cfg.CacheTiers) > 0 && tier != sys.Cfg.CacheTiers[0] {
+	sys.stats.BytesWritten[placed] += size
+	if fastest, ok := sys.chain.FastestCache(); ok && placed != fastest {
 		sys.stats.Spills++
 	}
 	return nil

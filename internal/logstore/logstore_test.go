@@ -343,12 +343,18 @@ func TestLogSetReadVA(t *testing.T) {
 }
 
 // Property: random segment sizes written through a LogSet always read back
-// identical bytes from whichever tier they landed on.
+// identical bytes from whichever tier they landed on — for any chain
+// shape: a random subset of the cache tiers gets capacity (2–5 tiers
+// total, counting the always-present unbounded PFS terminal).
 func TestLogSetRoundTripProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		ls, err := NewLogSet(0, [meta.NumTiers]int64{
-			int64(rng.Intn(200) + 50), 0, int64(rng.Intn(200) + 50), 0}, 16)
+		var caps [meta.NumTiers]int64
+		nCache := rng.Intn(meta.NumTiers-1) + 1 // 1–4 cache tiers + terminal
+		for _, ti := range rng.Perm(meta.NumTiers - 1)[:nCache] {
+			caps[ti] = int64(rng.Intn(200) + 50)
+		}
+		ls, err := NewLogSet(0, caps, 16)
 		if err != nil {
 			return false
 		}

@@ -30,6 +30,10 @@ const (
 	TierLocalSSD
 	// TierBB is the shared burst buffer.
 	TierBB
+	// TierObject is a flat-namespace object store: globally visible,
+	// high-latency, high-aggregate-bandwidth — the kind of campaign-storage
+	// layer HPC stacks slot between the burst buffer and the PFS.
+	TierObject
 	// TierPFS is the disk-based parallel file system.
 	TierPFS
 
@@ -46,18 +50,20 @@ func (t Tier) String() string {
 		return "LocalSSD"
 	case TierBB:
 		return "BB"
+	case TierObject:
+		return "Object"
 	case TierPFS:
 		return "PFS"
 	default:
-		return fmt.Sprintf("Tier(%d)", int(t))
+		return fmt.Sprintf("tier(%d)", int(t))
 	}
 }
 
 // Shared reports whether logs on this tier are globally visible to every
-// compute node (true for the shared burst buffer and the PFS) or visible
-// only on their host node (DRAM, local SSD). Location-aware reads exploit
-// this distinction (§II-B4).
-func (t Tier) Shared() bool { return t == TierBB || t == TierPFS }
+// compute node (true for the shared burst buffer, the object store, and
+// the PFS) or visible only on their host node (DRAM, local SSD).
+// Location-aware reads exploit this distinction (§II-B4).
+func (t Tier) Shared() bool { return t == TierBB || t == TierObject || t == TierPFS }
 
 // AddressSpace is one process's per-tier log capacities, fixing the VA
 // layout for that process's segments. The PFS (last tier) is treated as

@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -89,8 +90,8 @@ func TestNewAddressSpaceRejectsNegativeCapacity(t *testing.T) {
 
 // Property: Encode/Decode round-trip for every tier and in-range address.
 func TestVARoundTripProperty(t *testing.T) {
-	prop := func(c0, c1, c2 uint16, tierRaw uint8, addrRaw uint32) bool {
-		caps := [NumTiers]int64{int64(c0) + 1, int64(c1) + 1, int64(c2) + 1, 0}
+	prop := func(c0, c1, c2, c3 uint16, tierRaw uint8, addrRaw uint32) bool {
+		caps := [NumTiers]int64{int64(c0) + 1, int64(c1) + 1, int64(c2) + 1, int64(c3) + 1, 0}
 		a, err := NewAddressSpace(caps)
 		if err != nil {
 			return false
@@ -118,8 +119,31 @@ func TestTierShared(t *testing.T) {
 	if TierDRAM.Shared() || TierLocalSSD.Shared() {
 		t.Error("node-local tiers reported as shared")
 	}
-	if !TierBB.Shared() || !TierPFS.Shared() {
-		t.Error("BB/PFS not reported as shared")
+	if !TierBB.Shared() || !TierObject.Shared() || !TierPFS.Shared() {
+		t.Error("BB/Object/PFS not reported as shared")
+	}
+}
+
+// Guard: every tier in [0, NumTiers) has a dedicated name in String(), and
+// out-of-range values fall back to "tier(N)". A future tier addition that
+// bumps the enum but forgets the String() switch trips this immediately.
+func TestTierStringCoversAllTiers(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumTiers; i++ {
+		s := Tier(i).String()
+		if s == fmt.Sprintf("tier(%d)", i) {
+			t.Errorf("Tier(%d).String() = %q: in-range tier fell through to the default case", i, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate tier name %q", s)
+		}
+		seen[s] = true
+	}
+	for _, tr := range []Tier{Tier(NumTiers), Tier(NumTiers + 7), Tier(-1)} {
+		want := fmt.Sprintf("tier(%d)", int(tr))
+		if got := tr.String(); got != want {
+			t.Errorf("Tier(%d).String() = %q, want %q", int(tr), got, want)
+		}
 	}
 }
 

@@ -1,0 +1,160 @@
+package tier
+
+// The object-store tier: a flat-namespace campaign-storage layer slotted
+// between the burst buffer and the PFS, modelled after the object stores
+// evaluated by Chien et al. (high per-operation latency from the HTTP-style
+// gateway round-trip, high aggregate bandwidth from parallel gateways).
+//
+// This file is the extensibility proof of the Backend abstraction: nothing
+// under internal/core mentions TierObject. Registering here and listing
+// meta.TierObject in Config.CacheTiers is all it takes to deploy the tier.
+
+import (
+	"fmt"
+
+	"univistor/internal/meta"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+func init() {
+	Register(meta.TierObject, newObjStore)
+}
+
+const (
+	// objGateways S3-style gateway endpoints front the store; each client
+	// request is hashed across them.
+	objGateways = 8
+	// objGatewayBW is one gateway's sustained bandwidth in bytes/s.
+	objGatewayBW = 2 << 30
+	// objLatency is the per-operation gateway round-trip (HTTP scale —
+	// three orders of magnitude above the fabric, the defining trait of
+	// the tier).
+	objLatency = 1e-3
+	// objTotalBytes is the pool granted to the job.
+	objTotalBytes = int64(64) << 40
+	// objLogFraction bounds the aggregate per-process log share, like the
+	// DRAM and BB fractions.
+	objLogFraction = 0.9
+	// objStripeSize is the object granularity: log ranges are cut into
+	// fixed-size objects, each hashed to a gateway.
+	objStripeSize = int64(64) << 20
+)
+
+type objStore struct {
+	env      *Env
+	gateways []*sim.Resource
+	readAgg  *sim.Resource // aggregate read leg for flush pipelines
+	pool     *topology.Capacity
+}
+
+func newObjStore(env *Env) (Backend, error) {
+	s := &objStore{
+		env:     env,
+		readAgg: sim.NewResource("obj-read-agg", float64(objGateways)*float64(objGatewayBW)),
+		pool:    topology.NewCapacity("objstore", objTotalBytes),
+	}
+	for i := 0; i < objGateways; i++ {
+		s.gateways = append(s.gateways, sim.NewResource(fmt.Sprintf("objgw[%d]", i), objGatewayBW))
+	}
+	return s, nil
+}
+
+func (s *objStore) Tier() meta.Tier { return meta.TierObject }
+func (s *objStore) Shared() bool    { return true }
+func (s *objStore) Volatile() bool  { return false }
+
+// Durable is false: the store is provisioned per job here (a cache in
+// front of the PFS), so the flush pipeline still moves its bytes down.
+func (s *objStore) Durable() bool { return false }
+
+func (s *objStore) Provision(req ProvisionReq) (int64, error) {
+	p := int64(req.ProcsGlobal)
+	if p < 1 {
+		p = 1
+	}
+	want := s.env.Cfg.logBytes(meta.TierObject, 0)
+	if want <= 0 {
+		want = int64(float64(s.pool.Free()) * objLogFraction / float64(p))
+	}
+	if free := s.pool.Free(); want > free {
+		want = free
+	}
+	want -= want % s.env.Cfg.ChunkSize
+	if want > 0 && s.pool.Alloc(want) {
+		return want, nil
+	}
+	return 0, nil
+}
+
+func (s *objStore) Open(spec OpenSpec) (Device, error) {
+	if spec.Capacity <= 0 {
+		return nil, nil
+	}
+	return sharedDevice{&objLog{store: s, owner: spec.Owner}}, nil
+}
+
+func (s *objStore) FlushLeg(node int, serverMemPath []*sim.Resource) []*sim.Resource {
+	return []*sim.Resource{s.readAgg, s.env.Cluster.Fabric}
+}
+
+// objLog is one process's flat object namespace: each objStripeSize slice
+// of the log is one object, hashed to a gateway. Capacity was charged to
+// the pool by Provision, so transfers do no per-write accounting.
+type objLog struct {
+	store *objStore
+	owner int
+}
+
+// gateway hashes an object of this log onto a gateway endpoint.
+func (l *objLog) gateway(obj int64) *sim.Resource {
+	h := uint64(obj)*0x9e3779b97f4a7c15 + uint64(l.owner)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return l.store.gateways[h%uint64(len(l.store.gateways))]
+}
+
+func (l *objLog) Write(p *sim.Proc, node int, off, size int64, extra ...*sim.Resource) error {
+	l.transfer(p, node, off, size, extra)
+	return nil
+}
+
+func (l *objLog) Read(p *sim.Proc, node int, off, size int64, extra ...*sim.Resource) {
+	l.transfer(p, node, off, size, extra)
+}
+
+func (l *objLog) transfer(p *sim.Proc, node int, off, size int64, extra []*sim.Resource) {
+	if size <= 0 {
+		return
+	}
+	c := l.store.env.Cluster
+	p.Sleep(objLatency)
+	first := off / objStripeSize
+	last := (off + size - 1) / objStripeSize
+	// Coalesce by gateway so a range spanning many objects is one flow
+	// per endpoint, like the BB model's per-node parts.
+	sizes := map[*sim.Resource]int64{}
+	var order []*sim.Resource
+	for obj := first; obj <= last; obj++ {
+		lo, hi := obj*objStripeSize, (obj+1)*objStripeSize
+		if lo < off {
+			lo = off
+		}
+		if hi > off+size {
+			hi = off + size
+		}
+		gw := l.gateway(obj)
+		if _, ok := sizes[gw]; !ok {
+			order = append(order, gw)
+		}
+		sizes[gw] += hi - lo
+	}
+	flows := make([]sim.Flow, 0, len(order))
+	for _, gw := range order {
+		path := []*sim.Resource{c.Nodes[node].NIC, c.Fabric, gw}
+		path = append(path, extra...)
+		flows = append(flows, sim.Flow{Size: float64(sizes[gw]), Path: path})
+	}
+	p.TransferAll(flows)
+}
