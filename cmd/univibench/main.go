@@ -27,6 +27,7 @@ func main() {
 		scales  = flag.String("scales", "", "comma-separated process counts (overrides default sweep)")
 		verbose = flag.Bool("v", false, "print progress per data point")
 		list    = flag.Bool("list", false, "list available figure ids")
+		traceTo = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) of each run to this path (last run wins)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 	}
 	o.Verbose = *verbose
 	o.Progress = os.Stderr
+	o.TracePath = *traceTo
 
 	switch {
 	case *all:

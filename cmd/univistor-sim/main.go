@@ -25,6 +25,7 @@ import (
 	"univistor/internal/schedule"
 	"univistor/internal/sim"
 	"univistor/internal/topology"
+	"univistor/internal/trace"
 	"univistor/internal/workloads"
 )
 
@@ -41,6 +42,11 @@ type Output struct {
 	FlushSecs    float64 `json:"flush_seconds,omitempty"`
 	FlushGiBs    float64 `json:"flush_gib_per_sec,omitempty"`
 	VirtualEnd   float64 `json:"virtual_end_seconds"`
+
+	// Stats is the full core counter snapshot (univistor driver only).
+	Stats *core.Stats `json:"stats,omitempty"`
+	// TraceSummary digests the recorded spans when -trace is given.
+	TraceSummary *trace.Summary `json:"trace_summary,omitempty"`
 }
 
 func main() {
@@ -56,6 +62,7 @@ func main() {
 		noIA    = flag.Bool("no-ia", false, "disable interference-aware scheduling")
 		noCOC   = flag.Bool("no-coc", false, "disable collective open/close")
 		noADPT  = flag.Bool("no-adpt", false, "disable adaptive striping")
+		traceTo = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this path")
 	)
 	flag.Parse()
 
@@ -76,6 +83,11 @@ func main() {
 		policy = schedule.CFS
 	}
 	w := mpi.NewWorld(e, topology.New(e, tc), policy)
+	var rec *trace.Recorder
+	if *traceTo != "" {
+		rec = trace.New()
+		w.SetTrace(rec)
+	}
 
 	var env *mpiio.Env
 	var uv *mpiio.UniviStorDriver
@@ -201,6 +213,16 @@ func main() {
 			out.FlushSecs = float64(endF - start)
 			out.FlushGiBs = float64(bytes) / float64(endF-start) / gib
 		}
+	}
+	if uv != nil {
+		st := uv.Sys.Stats()
+		out.Stats = &st
+	}
+	if rec != nil {
+		if err := rec.ExportChromeFile(*traceTo); err != nil {
+			fatal("writing trace: %v", err)
+		}
+		out.TraceSummary = rec.Summarize(8)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

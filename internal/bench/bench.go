@@ -20,6 +20,7 @@ import (
 	"univistor/internal/schedule"
 	"univistor/internal/sim"
 	"univistor/internal/topology"
+	"univistor/internal/trace"
 )
 
 // GiB converts to the units the paper plots.
@@ -45,6 +46,11 @@ type Options struct {
 	// Verbose prints a progress line per data point to Progress.
 	Verbose  bool
 	Progress io.Writer
+	// TracePath, when set, attaches a trace recorder to every stack the
+	// sweep builds and exports a Chrome trace-event JSON of each completed
+	// run to this path (each run overwrites it, so the file holds the last
+	// data point — the largest scale of the final series).
+	TracePath string
 }
 
 // DefaultOptions reproduces the paper's sweep.
@@ -207,6 +213,9 @@ type stack struct {
 	UV  *mpiio.UniviStorDriver // nil unless driver == univistor
 	DE  *dataelevator.Driver   // nil unless driver == dataelevator
 	LU  *mpiio.LustreDriver    // nil unless driver == lustre
+
+	Rec      *trace.Recorder // nil unless Options.TracePath is set
+	TraceOut string          // export destination for Rec
 }
 
 // variant describes one configuration under test.
@@ -224,6 +233,11 @@ func buildStack(v variant, procs int, o Options) *stack {
 	e := sim.NewEngine()
 	w := mpi.NewWorld(e, topology.New(e, tc), v.policy)
 	st := &stack{E: e, W: w}
+	if o.TracePath != "" {
+		st.Rec = trace.New()
+		st.TraceOut = o.TracePath
+		w.SetTrace(st.Rec)
+	}
 	switch v.driver {
 	case "univistor":
 		cc := core.DefaultConfig()
@@ -284,6 +298,18 @@ func (st *stack) finish(jobs ...*mpi.Comm) {
 	st.E.Run()
 	if d := st.E.Deadlocked(); d != 0 {
 		panic(fmt.Sprintf("bench: %d processes deadlocked", d))
+	}
+	st.exportTrace()
+}
+
+// exportTrace writes the run's Chrome trace to Options.TracePath (a no-op
+// without a recorder). Every completed run of a sweep overwrites the file.
+func (st *stack) exportTrace() {
+	if st.Rec == nil || st.TraceOut == "" {
+		return
+	}
+	if err := st.Rec.ExportChromeFile(st.TraceOut); err != nil {
+		panic(fmt.Sprintf("bench: exporting trace: %v", err))
 	}
 }
 

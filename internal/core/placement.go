@@ -13,6 +13,7 @@ import (
 	"univistor/internal/meta"
 	"univistor/internal/sim"
 	"univistor/internal/tier"
+	"univistor/internal/trace"
 )
 
 // trackHeat records one access to the segment and promotes it when it
@@ -59,6 +60,9 @@ func (sys *System) promoteSegment(p *sim.Proc, fs *fileState, rec meta.Record, p
 	if err != nil {
 		return
 	}
+
+	sp := sys.W.Trace.Begin(p, trace.CatPromote, "promote-segment")
+	defer func() { sp.End(p.Now()) }()
 
 	// Data motion: source tier → producer node's DRAM, through the
 	// producer's co-located server. A segment whose device has nothing to

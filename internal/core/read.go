@@ -7,6 +7,7 @@ import (
 	"univistor/internal/meta"
 	"univistor/internal/sim"
 	"univistor/internal/tier"
+	"univistor/internal/trace"
 )
 
 // ReadAt reads [off, off+size) of the logical file, returning the payload
@@ -34,6 +35,9 @@ func (cf *ClientFile) ReadAt(off, size int64) ([]byte, error) {
 	p := c.rank.P
 	fs := cf.fs
 	node := c.rank.Node()
+
+	sp := sys.W.Trace.Begin(p, trace.CatRead, "read-at")
+	defer func() { sp.End(p.Now()) }()
 
 	la := sys.Cfg.LocationAwareRead
 	if !la {

@@ -12,6 +12,7 @@ import (
 
 	"univistor/internal/meta"
 	"univistor/internal/sim"
+	"univistor/internal/trace"
 )
 
 // ErrDataLost is returned when a read needs a segment whose only copy was
@@ -38,12 +39,14 @@ func (sys *System) replicate(p *sim.Proc, c *Client, size int64) {
 	if buddy.Node == c.server.Node {
 		return // single-node cluster: nowhere to replicate
 	}
+	sp := sys.W.Trace.Begin(p, trace.CatReplicate, "replicate")
 	path := append([]*sim.Resource{c.server.Rank.H.MemPort},
 		sys.W.Cluster.NetPath(c.server.Node, buddy.Node)...)
 	path = append(path, buddy.Rank.H.MemPath()...)
 	p.Sleep(sys.W.Cluster.Cfg.NetLatency)
 	p.Transfer(float64(size), path...)
 	sys.stats.Replications++
+	sp.End(p.Now())
 }
 
 // FailNode simulates the loss of a compute node's volatile storage (the

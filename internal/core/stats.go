@@ -5,7 +5,11 @@ package core
 // aggregated system-wide; per-file placement detail is available through
 // the metadata ring.
 
-import "univistor/internal/meta"
+import (
+	"encoding/json"
+
+	"univistor/internal/meta"
+)
 
 // Stats is a snapshot of UniviStor's operation counters.
 type Stats struct {
@@ -47,6 +51,38 @@ func (sys *System) Stats() Stats {
 	s := sys.stats
 	s.DroppedTiers = append([]meta.Tier(nil), sys.stats.DroppedTiers...)
 	return s
+}
+
+// MarshalJSON renders the snapshot with per-tier byte counts keyed by tier
+// name instead of positional arrays, so JSON consumers do not depend on the
+// numeric tier order (which may grow as backends are registered).
+func (s Stats) MarshalJSON() ([]byte, error) {
+	written := map[string]int64{}
+	for t, b := range s.BytesWritten {
+		if b != 0 {
+			written[meta.Tier(t).String()] = b
+		}
+	}
+	dropped := make([]string, 0, len(s.DroppedTiers))
+	for _, t := range s.DroppedTiers {
+		dropped = append(dropped, t.String())
+	}
+	return json.Marshal(struct {
+		BytesWritten    map[string]int64 `json:"bytes_written_by_tier"`
+		BytesReadLocal  int64            `json:"bytes_read_local"`
+		BytesReadShared int64            `json:"bytes_read_shared"`
+		BytesReadRemote int64            `json:"bytes_read_remote"`
+		BytesFlushed    int64            `json:"bytes_flushed"`
+		Flushes         int64            `json:"flushes"`
+		MetaOps         int64            `json:"meta_ops"`
+		OpenOps         int64            `json:"open_ops"`
+		Replications    int64            `json:"replications"`
+		Promotions      int64            `json:"promotions"`
+		Spills          int64            `json:"spills"`
+		DroppedTiers    []string         `json:"dropped_tiers"`
+	}{written, s.BytesReadLocal, s.BytesReadShared, s.BytesReadRemote,
+		s.BytesFlushed, s.Flushes, s.MetaOps, s.OpenOps,
+		s.Replications, s.Promotions, s.Spills, dropped})
 }
 
 // TotalBytesWritten sums writes across tiers.

@@ -54,6 +54,148 @@ func TestStatsCountersTrackOperations(t *testing.T) {
 	}
 }
 
+// TestStatsCounterPaths pins each rare-path counter — Spills,
+// Replications, Promotions — to the exact operation that increments it,
+// one table case per path (plus the all-quiet baseline).
+func TestStatsCounterPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func(*topology.Config, *Config)
+		app  func(t *testing.T, sys *System, c *Client)
+		want Stats // only Spills/Replications/Promotions are compared
+	}{
+		{
+			name: "fits on fastest tier: nothing fires",
+			cfg: func(tc *topology.Config, cc *Config) {
+				cc.FlushOnClose = false
+				cc.DRAMLogBytes = 2 * mib
+				cc.CacheTiers = []meta.Tier{meta.TierDRAM, meta.TierBB}
+			},
+			app: func(t *testing.T, sys *System, c *Client) {
+				f, _ := c.Open("f", WriteOnly)
+				mustWrite(t, f, 0, 1*mib)
+				f.Close()
+			},
+			want: Stats{},
+		},
+		{
+			name: "DRAM overflow spills to BB",
+			cfg: func(tc *topology.Config, cc *Config) {
+				cc.FlushOnClose = false
+				cc.DRAMLogBytes = 1 * mib
+				cc.CacheTiers = []meta.Tier{meta.TierDRAM, meta.TierBB}
+			},
+			app: func(t *testing.T, sys *System, c *Client) {
+				f, _ := c.Open("f", WriteOnly)
+				mustWrite(t, f, 0, 1*mib)     // fills the DRAM log
+				mustWrite(t, f, 1*mib, 1*mib) // overflows → BB
+				f.Close()
+			},
+			want: Stats{Spills: 1},
+		},
+		{
+			name: "volatile-tier write replicates; spilled shared write does not",
+			cfg: func(tc *topology.Config, cc *Config) {
+				cc.FlushOnClose = false
+				cc.ReplicateVolatile = true
+				cc.DRAMLogBytes = 1 * mib
+				cc.CacheTiers = []meta.Tier{meta.TierDRAM, meta.TierBB}
+			},
+			app: func(t *testing.T, sys *System, c *Client) {
+				f, _ := c.Open("f", WriteOnly)
+				mustWrite(t, f, 0, 1*mib)     // DRAM (volatile) → mirrored
+				mustWrite(t, f, 1*mib, 1*mib) // BB (shared) → not mirrored
+				f.Close()
+			},
+			want: Stats{Spills: 1, Replications: 1},
+		},
+		{
+			name: "hot shared segment promotes to DRAM",
+			cfg: func(tc *topology.Config, cc *Config) {
+				cc.FlushOnClose = false
+				cc.ProactivePlacement = true
+				cc.PromoteAfterReads = 1
+				cc.DRAMLogBytes = 1 * mib
+				cc.CacheTiers = []meta.Tier{meta.TierDRAM, meta.TierBB}
+			},
+			app: func(t *testing.T, sys *System, c *Client) {
+				f, _ := c.Open("f", WriteOnly)
+				mustWrite(t, f, 0, 1*mib)     // fills the DRAM log
+				mustWrite(t, f, 1*mib, 1*mib) // spills to BB
+				// Free the DRAM chunk so the promotion has room, then heat
+				// the BB segment past the threshold.
+				recs, _ := sys.Ring().Covering(f.FID(), 1*mib, 1*mib)
+				if len(recs) == 0 {
+					t.Fatal("no record for the spilled segment")
+				}
+				sys.files["f"].procFiles[recs[0].Proc].ls.Log(meta.TierDRAM).Punch(0)
+				if _, err := f.ReadAt(1*mib, 1*mib); err != nil {
+					t.Errorf("read: %v", err)
+				}
+				f.Close()
+			},
+			want: Stats{Spills: 1, Promotions: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, sys := testEnv(t, tc.cfg)
+			runApp(t, w, sys, 1, 1, func(c *Client) { tc.app(t, sys, c) })
+			st := sys.Stats()
+			if st.Spills != tc.want.Spills {
+				t.Errorf("Spills = %d, want %d", st.Spills, tc.want.Spills)
+			}
+			if st.Replications != tc.want.Replications {
+				t.Errorf("Replications = %d, want %d", st.Replications, tc.want.Replications)
+			}
+			if st.Promotions != tc.want.Promotions {
+				t.Errorf("Promotions = %d, want %d", st.Promotions, tc.want.Promotions)
+			}
+		})
+	}
+}
+
+func mustWrite(t *testing.T, f *ClientFile, off, size int64) {
+	t.Helper()
+	if err := f.WriteAt(off, size, nil); err != nil {
+		t.Errorf("write at %d: %v", off, err)
+	}
+}
+
+// TestStatsSnapshotIsolation takes a snapshot mid-run and checks later
+// operations never leak into it (Stats() is a copy, not a view).
+func TestStatsSnapshotIsolation(t *testing.T) {
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
+		tc.BBNodes = 0 // drop the BB tier so the snapshot carries state
+		cc.FlushOnClose = false
+		cc.DRAMLogBytes = 4 * mib
+		cc.CacheTiers = []meta.Tier{meta.TierDRAM, meta.TierBB}
+	})
+	var snap Stats
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f, _ := c.Open("f", WriteOnly)
+		mustWrite(t, f, 0, 1*mib)
+		snap = sys.Stats()
+		mustWrite(t, f, 1*mib, 1*mib) // after the snapshot
+		f.Close()
+	})
+	if snap.TotalBytesWritten() != 1*mib {
+		t.Errorf("snapshot BytesWritten = %d, want %d (post-snapshot write leaked in)",
+			snap.TotalBytesWritten(), 1*mib)
+	}
+	if got := sys.Stats().TotalBytesWritten(); got != 2*mib {
+		t.Errorf("live BytesWritten = %d, want %d", got, 2*mib)
+	}
+	if len(snap.DroppedTiers) != 1 || snap.DroppedTiers[0] != meta.TierBB {
+		t.Fatalf("snapshot DroppedTiers = %v, want [BB]", snap.DroppedTiers)
+	}
+	// Mutating the snapshot's slice must not reach the live state.
+	snap.DroppedTiers[0] = meta.TierPFS
+	if got := sys.Stats().DroppedTiers[0]; got != meta.TierBB {
+		t.Errorf("snapshot slice aliases live DroppedTiers (now %v)", got)
+	}
+}
+
 func TestStatsCountReplicationsAndPromotions(t *testing.T) {
 	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
 		cc.FlushOnClose = false

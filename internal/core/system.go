@@ -14,6 +14,7 @@ import (
 	"univistor/internal/sim"
 	"univistor/internal/striping"
 	"univistor/internal/tier"
+	"univistor/internal/trace"
 	"univistor/internal/workflow"
 )
 
@@ -125,6 +126,7 @@ func NewSystem(w *mpi.World, cfg Config) (*System, error) {
 		Cluster: w.Cluster,
 		BB:      sys.BB,
 		PFS:     sys.PFS,
+		Trace:   w.Trace,
 		Cfg: tier.Params{
 			ChunkSize:       cfg.ChunkSize,
 			DRAMLogFraction: cfg.DRAMLogFraction,
@@ -263,14 +265,18 @@ func (sys *System) metaServer(ringIdx int) *Server {
 // processing.
 func (sys *System) chargeMetaOp(p *sim.Proc, fromNode int, srv *Server) {
 	sys.stats.MetaOps++
+	sp := sys.W.Trace.Begin(p, trace.CatMeta, "meta-op")
 	sys.chargeOp(p, fromNode, srv, sys.Cfg.MetaOpTime)
+	sp.End(p.Now())
 }
 
 // chargeOpenOp charges a file open/close request — heavier server work
 // that COC collapses to the root process.
 func (sys *System) chargeOpenOp(p *sim.Proc, fromNode int, srv *Server) {
 	sys.stats.OpenOps++
+	sp := sys.W.Trace.Begin(p, trace.CatMeta, "open-op")
 	sys.chargeOp(p, fromNode, srv, sys.Cfg.OpenOpTime)
+	sp.End(p.Now())
 }
 
 func (sys *System) chargeOp(p *sim.Proc, fromNode int, srv *Server, opTime float64) {
@@ -377,6 +383,7 @@ func (sys *System) triggerFlush(p *sim.Proc, fs *fileState) {
 	fs.flushing = true
 	fs.flushRemaining = len(flushers)
 	fs.flushStart = p.Now()
+	sp := sys.W.Trace.Begin(p, trace.CatFlush, "flush-trigger")
 	if sys.Cfg.Workflow {
 		sys.WF.BeginFlush(p, fs.name)
 	}
@@ -398,6 +405,7 @@ func (sys *System) triggerFlush(p *sim.Proc, fs *fileState) {
 		p.Sleep(cfg.NetLatency)
 		srv.Rank.Deliver(mpi.Msg{Tag: "flush", Payload: req})
 	}
+	sp.End(p.Now())
 }
 
 // doFlush is the server-side flush of one contiguous range: a pipelined
@@ -412,6 +420,7 @@ func (s *Server) doFlush(r *mpi.Rank, req *flushReq) {
 		}
 	}
 
+	sp := sys.W.Trace.Begin(r.P, trace.CatFlush, "flush-range")
 	remaining := req.rangeLen
 	// Flush tier by tier, fastest first; the range split across tiers
 	// mirrors the cached byte counts.
@@ -428,12 +437,15 @@ func (s *Server) doFlush(r *mpi.Rank, req *flushReq) {
 			remaining -= bytes
 			continue
 		}
+		leg := sys.W.Trace.Begin(r.P, tier.Cat(bk.Tier()), "flush-leg")
 		readLeg := bk.FlushLeg(s.Node, r.H.MemPath())
 		if err := req.fs.pfsFile.Write(r.P, s.Node, req.rangeOff+(req.rangeLen-remaining), bytes, readLeg...); err != nil {
 			panic(fmt.Sprintf("core: flush write: %v", err))
 		}
+		leg.End(r.P.Now())
 		remaining -= bytes
 	}
+	sp.End(r.P.Now())
 
 	if sys.Cfg.InterferenceAware {
 		sys.nodeFlushCount[s.Node]--
@@ -453,6 +465,7 @@ func (s *Server) finishFlushPart(r *mpi.Rank, fs *fileState) {
 	if fs.flushRemaining > 0 {
 		return
 	}
+	sys.W.Trace.Mark(r.P, trace.CatFlush, "flush-complete")
 	fs.flushing = false
 	fs.flushed = true
 	fs.flushEnd = r.P.Now()

@@ -5,6 +5,7 @@ import (
 
 	"univistor/internal/meta"
 	"univistor/internal/tier"
+	"univistor/internal/trace"
 )
 
 // WriteAt writes one segment of the logical file at the given offset. data
@@ -33,6 +34,9 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 	c := cf.c
 	sys := c.sys
 	p := c.rank.P
+
+	sp := sys.W.Trace.Begin(p, trace.CatWrite, "write-at")
+	defer func() { sp.End(p.Now()) }()
 
 	// Hand the request to the co-located server over shared memory.
 	p.Sleep(sys.Cfg.ShmLatency)

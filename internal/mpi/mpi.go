@@ -17,6 +17,7 @@ import (
 	"univistor/internal/schedule"
 	"univistor/internal/sim"
 	"univistor/internal/topology"
+	"univistor/internal/trace"
 )
 
 // World ties together the engine, the cluster, and the process scheduler.
@@ -25,6 +26,23 @@ type World struct {
 	E       *sim.Engine
 	Cluster *topology.Cluster
 	Sched   *schedule.Scheduler
+
+	// Trace, when non-nil, records spans for collectives, sends, and
+	// blocking receives (and is the recorder the rest of the stack — core,
+	// tier — picks up from here). Attach it with SetTrace before launching
+	// jobs; nil costs one check per operation.
+	Trace *trace.Recorder
+}
+
+// SetTrace attaches a recorder to the world AND to its engine (flow and
+// resource instrumentation), the single plumb point for the whole stack.
+func (w *World) SetTrace(rec *trace.Recorder) {
+	w.Trace = rec
+	if rec != nil {
+		w.E.SetTracer(rec)
+	} else {
+		w.E.SetTracer(nil)
+	}
 }
 
 // NewWorld creates a world over the cluster with the given placement policy.
@@ -176,12 +194,14 @@ func (r *Rank) Send(dst int, tag string, size int64, payload any) {
 // SendTo is Send across communicators (client→server traffic).
 func (r *Rank) SendTo(dst *Rank, tag string, size int64, payload any) {
 	w := r.comm.world
+	sp := w.Trace.Begin(r.P, trace.CatMPI, "send")
 	r.P.Sleep(w.Cluster.Cfg.NetLatency)
 	path := w.Cluster.NetPath(r.node, dst.node)
 	if len(path) > 0 && size > 0 {
 		r.P.Transfer(float64(size), path...)
 	}
 	dst.mbox.Send(Msg{Src: r.rank, Tag: tag, Size: size, Payload: payload})
+	sp.End(r.P.Now())
 }
 
 // Recv blocks until any message arrives and returns it, preferring messages
@@ -192,7 +212,10 @@ func (r *Rank) Recv() Msg {
 		r.held = r.held[1:]
 		return m
 	}
-	return r.mbox.Recv(r.P).(Msg)
+	sp := r.comm.world.Trace.Begin(r.P, trace.CatMPI, "recv")
+	m := r.mbox.Recv(r.P).(Msg)
+	sp.End(r.P.Now())
+	return m
 }
 
 // RecvTag blocks until a message with the given tag arrives, holding back
@@ -204,9 +227,11 @@ func (r *Rank) RecvTag(tag string) Msg {
 			return m
 		}
 	}
+	sp := r.comm.world.Trace.Begin(r.P, trace.CatMPI, "recv")
 	for {
 		m := r.mbox.Recv(r.P).(Msg)
 		if m.Tag == tag {
+			sp.End(r.P.Now())
 			return m
 		}
 		r.held = append(r.held, m)
@@ -239,8 +264,10 @@ func (c *Comm) treeCost(size int64) float64 {
 // Barrier blocks until every rank of the communicator has entered it, then
 // charges the synchronization tree cost.
 func (r *Rank) Barrier() {
+	sp := r.comm.world.Trace.Begin(r.P, trace.CatMPI, "barrier")
 	r.comm.barrier.Wait(r.P)
 	r.P.Sleep(r.comm.treeCost(0))
+	sp.End(r.P.Now())
 }
 
 // Bcast models broadcasting size bytes from root to all ranks; payload is
@@ -251,6 +278,7 @@ func (r *Rank) Barrier() {
 // rank may already be contributing to the next collective round.
 func (r *Rank) Bcast(root int, size int64, payload any) any {
 	c := r.comm
+	sp := c.world.Trace.Begin(r.P, trace.CatMPI, "bcast")
 	if r.rank == root {
 		c.bcastVal = payload
 	}
@@ -258,6 +286,7 @@ func (r *Rank) Bcast(root int, size int64, payload any) any {
 	out := c.bcastVal
 	c.collectiveDone()
 	r.P.Sleep(c.treeCost(size))
+	sp.End(r.P.Now())
 	return out
 }
 
@@ -266,6 +295,8 @@ func (r *Rank) Bcast(root int, size int64, payload any) any {
 // ranks get nil.
 func (r *Rank) Gather(root int, size int64, payload any) []any {
 	c := r.comm
+	sp := c.world.Trace.Begin(r.P, trace.CatMPI, "gather")
+	defer func() { sp.End(r.P.Now()) }()
 	if c.gatherVals == nil {
 		c.gatherVals = make([]any, len(c.ranks))
 	}
@@ -284,6 +315,7 @@ func (r *Rank) Gather(root int, size int64, payload any) []any {
 // AllreduceMax models an allreduce of one float64 with the max operation.
 func (r *Rank) AllreduceMax(v float64) float64 {
 	c := r.comm
+	sp := c.world.Trace.Begin(r.P, trace.CatMPI, "allreduce-max")
 	if c.reducePhase == 0 {
 		c.reduceVal = v
 		c.reducePhase = 1
@@ -294,6 +326,7 @@ func (r *Rank) AllreduceMax(v float64) float64 {
 	out := c.reduceVal
 	c.collectiveDone()
 	r.P.Sleep(c.treeCost(8))
+	sp.End(r.P.Now())
 	return out
 }
 

@@ -80,11 +80,30 @@ type Engine struct {
 	parked         int // procs currently parked (alive but blocked)
 	flows          flowSet
 	flowGen        int64 // invalidates stale flow-completion events
-	tracing        bool
-	traceFn        func(t Time, format string, args ...any)
+	flowSeq        int64 // trace ids for flows (assigned only when tracing)
+	tracer         Tracer
 	finished       bool
 	recomputeCount int64
 	recomputeWork  int64
+}
+
+// Tracer receives the engine's instrumentation stream: fluid-flow
+// start/finish and per-resource rate-change samples (the utilization
+// timeline), plus free-form instant events. The interface is defined here
+// so the engine stays free of higher-level dependencies; the canonical
+// implementation is internal/trace.Recorder. All callbacks run in
+// dispatcher or process context (serialized) at the current virtual time.
+type Tracer interface {
+	// FlowBegin reports a fluid transfer entering the active set.
+	FlowBegin(t Time, id int64, size float64, resources []*Resource)
+	// FlowEnd reports the transfer draining its last byte.
+	FlowEnd(t Time, id int64)
+	// ResourceSample reports the allocated rate (bytes/s) across a
+	// resource after a rate recomputation; a resource whose last flow
+	// retired is reported once with rate 0.
+	ResourceSample(t Time, r *Resource, rate float64)
+	// Instant reports a free-form instant event (the Tracef shim).
+	Instant(t Time, category, name string)
 }
 
 // debugRecompute enables recompute-rate diagnostics (set via UNIVISTOR_SIM_DEBUG).
@@ -100,17 +119,15 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// SetTrace installs a trace callback invoked by Tracef. Passing nil disables
-// tracing.
-func (e *Engine) SetTrace(fn func(t Time, format string, args ...any)) {
-	e.traceFn = fn
-	e.tracing = fn != nil
-}
+// SetTracer attaches the instrumentation sink. Passing nil disables
+// tracing; a disabled engine pays one nil check per potential event.
+func (e *Engine) SetTracer(tr Tracer) { e.tracer = tr }
 
-// Tracef emits a trace line when tracing is enabled.
+// Tracef is the legacy printf-style trace hook, kept as a compat shim: the
+// formatted line is recorded as an instant event on the attached tracer.
 func (e *Engine) Tracef(format string, args ...any) {
-	if e.tracing {
-		e.traceFn(e.now, format, args...)
+	if e.tracer != nil {
+		e.tracer.Instant(e.now, "sim", fmt.Sprintf(format, args...))
 	}
 }
 
@@ -307,6 +324,7 @@ type flow struct {
 	rate      float64
 	p         *Proc
 	done      func() // alternative to waking a proc
+	traceID   int64  // nonzero only while a tracer is attached
 }
 
 type flowSet struct {
@@ -322,6 +340,39 @@ type flowSet struct {
 	scratch map[*Resource]*resState
 	touched []*Resource
 	heapBuf shareHeap
+
+	// lastSampled are the resources reported to the tracer by the previous
+	// recompute; ones that drop out get a closing zero-rate sample.
+	lastSampled []*Resource
+}
+
+// traceFlowStart registers a new flow with the attached tracer.
+func (fs *flowSet) traceFlowStart(f *flow, size float64) {
+	e := fs.e
+	e.flowSeq++
+	f.traceID = e.flowSeq
+	e.tracer.FlowBegin(e.now, f.traceID, size, f.resources)
+}
+
+// emitSamples reports the post-recompute allocated rate of every touched
+// resource, closing out resources that no longer carry flows.
+func (fs *flowSet) emitSamples(states map[*Resource]*resState, gen int64) {
+	e := fs.e
+	for _, r := range fs.lastSampled {
+		if st := states[r]; st == nil || st.gen != gen {
+			e.tracer.ResourceSample(e.now, r, 0)
+		}
+	}
+	for _, r := range fs.touched {
+		used := 0.0
+		for _, f := range states[r].flows {
+			if f.rate > 0 {
+				used += f.rate
+			}
+		}
+		e.tracer.ResourceSample(e.now, r, used)
+	}
+	fs.lastSampled = append(fs.lastSampled[:0], fs.touched...)
 }
 
 // markDirty schedules one recompute for the current instant.
@@ -406,6 +457,12 @@ func (fs *flowSet) recompute() {
 	}
 	n := len(fs.active)
 	if n == 0 {
+		if fs.e.tracer != nil && len(fs.lastSampled) > 0 {
+			for _, r := range fs.lastSampled {
+				fs.e.tracer.ResourceSample(fs.e.now, r, 0)
+			}
+			fs.lastSampled = fs.lastSampled[:0]
+		}
 		return
 	}
 	if fs.scratch == nil {
@@ -478,6 +535,9 @@ func (fs *flowSet) recompute() {
 			}
 		}
 	}
+	if fs.e.tracer != nil {
+		fs.emitSamples(states, gen)
+	}
 	// Earliest completion.
 	bestT := Infinity
 	for _, f := range fs.active {
@@ -529,6 +589,9 @@ func (e *Engine) completeFlows(gen int64) {
 	}
 	e.flows.active = kept
 	for _, f := range finished {
+		if e.tracer != nil && f.traceID != 0 {
+			e.tracer.FlowEnd(e.now, f.traceID)
+		}
 		if f.p != nil {
 			f.p.resume()
 		}
@@ -552,7 +615,11 @@ func (p *Proc) Transfer(size float64, resources ...*Resource) {
 	}
 	e := p.e
 	e.flows.advance(e.now)
-	e.flows.active = append(e.flows.active, &flow{resources: resources, remaining: size, p: p})
+	f := &flow{resources: resources, remaining: size, p: p}
+	if e.tracer != nil {
+		e.flows.traceFlowStart(f, size)
+	}
+	e.flows.active = append(e.flows.active, f)
 	e.flows.markDirty()
 	p.park()
 }
@@ -567,7 +634,11 @@ func (e *Engine) StartTransfer(size float64, done func(), resources ...*Resource
 		return
 	}
 	e.flows.advance(e.now)
-	e.flows.active = append(e.flows.active, &flow{resources: resources, remaining: size, done: done})
+	f := &flow{resources: resources, remaining: size, done: done}
+	if e.tracer != nil {
+		e.flows.traceFlowStart(f, size)
+	}
+	e.flows.active = append(e.flows.active, f)
 	e.flows.markDirty()
 }
 

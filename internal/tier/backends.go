@@ -11,6 +11,7 @@ import (
 	"univistor/internal/lustre"
 	"univistor/internal/meta"
 	"univistor/internal/sim"
+	"univistor/internal/trace"
 )
 
 func init() {
@@ -70,14 +71,23 @@ type sharedFile interface {
 
 // sharedDevice adapts a globally visible striped file to the Device
 // interface.
-type sharedDevice struct{ f sharedFile }
+type sharedDevice struct {
+	f   sharedFile
+	env *Env
+	cat trace.Category
+}
 
 func (d sharedDevice) Write(p *sim.Proc, op *WriteOp) error {
-	return d.f.Write(p, op.Node, op.Addr, op.Size, op.ServerMemPort)
+	sp := d.env.Trace.Begin(p, d.cat, "write-op")
+	err := d.f.Write(p, op.Node, op.Addr, op.Size, op.ServerMemPort)
+	sp.End(p.Now())
+	return err
 }
 
 func (d sharedDevice) Read(p *sim.Proc, op *ReadOp) (Locality, error) {
+	sp := d.env.Trace.Begin(p, d.cat, "read-op")
 	d.f.Read(p, op.ReaderNode, op.Addr, op.Size, readExtras(op)...)
+	sp.End(p.Now())
 	return Shared, nil
 }
 
@@ -124,13 +134,18 @@ type dramDevice struct{ env *Env }
 func (d dramDevice) Write(p *sim.Proc, op *WriteOp) error {
 	// Client buffer → shared-memory log: both the client's and the
 	// server's core ports plus the server's NUMA memory port.
+	sp := d.env.Trace.Begin(p, Cat(meta.TierDRAM), "write-op")
 	path := append([]*sim.Resource{op.ClientMemPort}, op.ServerMemPath...)
 	p.Transfer(float64(op.Size), path...)
+	sp.End(p.Now())
 	return nil
 }
 
 func (d dramDevice) Read(p *sim.Proc, op *ReadOp) (Locality, error) {
-	return nodeLocalRead(d.env, p, op)
+	sp := d.env.Trace.Begin(p, Cat(meta.TierDRAM), "read-op")
+	loc, err := nodeLocalRead(d.env, p, op)
+	sp.End(p.Now())
+	return loc, err
 }
 
 // ---------------------------------------------------------------------------
@@ -180,16 +195,21 @@ func (b *ssdBackend) FlushLeg(node int, serverMemPath []*sim.Resource) []*sim.Re
 type ssdDevice struct{ env *Env }
 
 func (d ssdDevice) Write(p *sim.Proc, op *WriteOp) error {
+	sp := d.env.Trace.Begin(p, Cat(meta.TierLocalSSD), "write-op")
 	path := []*sim.Resource{op.ClientMemPort, op.ServerMemPort}
 	if ssd := d.env.Cluster.Nodes[op.Node].SSDBW; ssd != nil {
 		path = append(path, ssd)
 	}
 	p.Transfer(float64(op.Size), path...)
+	sp.End(p.Now())
 	return nil
 }
 
 func (d ssdDevice) Read(p *sim.Proc, op *ReadOp) (Locality, error) {
-	return nodeLocalRead(d.env, p, op)
+	sp := d.env.Trace.Begin(p, Cat(meta.TierLocalSSD), "read-op")
+	loc, err := nodeLocalRead(d.env, p, op)
+	sp.End(p.Now())
+	return loc, err
 }
 
 // ---------------------------------------------------------------------------
@@ -267,7 +287,7 @@ func (b *bbBackend) Open(spec OpenSpec) (Device, error) {
 	// The log's space was reserved from the BB pool by Provision; the
 	// file itself must not double-charge it.
 	f := b.env.BB.CreateReserved(fmt.Sprintf("uvlog/%d/%d", spec.FID, spec.Owner), 1)
-	return sharedDevice{f}, nil
+	return sharedDevice{f: f, env: b.env, cat: Cat(meta.TierBB)}, nil
 }
 
 func (b *bbBackend) FlushLeg(node int, serverMemPath []*sim.Resource) []*sim.Resource {
@@ -331,13 +351,18 @@ func (d *pfsDevice) Write(p *sim.Proc, op *WriteOp) error {
 	if err != nil {
 		return err
 	}
-	return f.Write(p, op.Node, op.Addr, op.Size, op.ServerMemPort)
+	sp := d.env.Trace.Begin(p, Cat(meta.TierPFS), "write-op")
+	err = f.Write(p, op.Node, op.Addr, op.Size, op.ServerMemPort)
+	sp.End(p.Now())
+	return err
 }
 
 func (d *pfsDevice) Read(p *sim.Proc, op *ReadOp) (Locality, error) {
 	if d.file == nil {
 		return Shared, fmt.Errorf("tier: proc %d has no PFS spill log", d.owner)
 	}
+	sp := d.env.Trace.Begin(p, Cat(meta.TierPFS), "read-op")
 	d.file.Read(p, op.ReaderNode, op.Addr, op.Size, readExtras(op)...)
+	sp.End(p.Now())
 	return Shared, nil
 }

@@ -91,7 +91,7 @@ func (s *objStore) Open(spec OpenSpec) (Device, error) {
 	if spec.Capacity <= 0 {
 		return nil, nil
 	}
-	return sharedDevice{&objLog{store: s, owner: spec.Owner}}, nil
+	return sharedDevice{f: &objLog{store: s, owner: spec.Owner}, env: s.env, cat: Cat(meta.TierObject)}, nil
 }
 
 func (s *objStore) FlushLeg(node int, serverMemPath []*sim.Resource) []*sim.Resource {

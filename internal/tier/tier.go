@@ -19,7 +19,27 @@ import (
 	"univistor/internal/meta"
 	"univistor/internal/sim"
 	"univistor/internal/topology"
+	"univistor/internal/trace"
 )
+
+// tierCats caches the per-tier trace categories ("tier:DRAM", …) so hot
+// device paths never build the string.
+var tierCats = func() [meta.NumTiers]trace.Category {
+	var out [meta.NumTiers]trace.Category
+	for i := range out {
+		out[i] = trace.TierCategory(meta.Tier(i).String())
+	}
+	return out
+}()
+
+// Cat returns the trace category of a tier ("tier:DRAM", "tier:BB", …).
+// Out-of-range tiers build their fallback name on the fly.
+func Cat(t meta.Tier) trace.Category {
+	if t >= 0 && int(t) < meta.NumTiers {
+		return tierCats[t]
+	}
+	return trace.TierCategory(t.String())
+}
 
 // Locality classifies where a read was served from, so the caller can
 // account it without knowing the tier.
@@ -68,12 +88,14 @@ func (p Params) logBytes(t meta.Tier, legacy int64) int64 {
 }
 
 // Env is everything a backend factory may draw on: the cluster's sim
-// resources and the shared device models.
+// resources, the shared device models, and the (possibly nil) trace
+// recorder devices emit per-operation spans on.
 type Env struct {
 	Cluster *topology.Cluster
 	BB      *bb.System // nil when the job has no burst-buffer allocation
 	PFS     *lustre.FS
 	Cfg     Params
+	Trace   *trace.Recorder
 }
 
 // ProvisionReq asks a backend for one process's log capacity.

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExportGolden locks the exporter's byte-for-byte output on the
+// deterministic two-rank scenario: the simulation engine is deterministic
+// and the exporter orders events deterministically, so any diff is a real
+// format change. Regenerate with: go test ./internal/trace -run Golden -update
+func TestExportGolden(t *testing.T) {
+	rec := New()
+	runScenario(rec)
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	path := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from golden file %s\ngot:  %s\nwant: %s",
+			path, firstDiff(buf.Bytes(), want), firstDiff(want, buf.Bytes()))
+	}
+	// The golden bytes must themselves validate.
+	if _, err := ValidateChrome(want); err != nil {
+		t.Fatalf("golden file invalid: %v", err)
+	}
+}
+
+// firstDiff returns a window of a around the first byte differing from b.
+func firstDiff(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo, hi := i-40, i+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":    `{"traceEvents": [}`,
+		"empty":       `{"traceEvents": []}`,
+		"nameless":    `{"traceEvents": [{"ph": "X", "ts": 0, "dur": 1}]}`,
+		"bad phase":   `{"traceEvents": [{"name": "x", "ph": "Z", "ts": 0}]}`,
+		"negative ts": `{"traceEvents": [{"name": "x", "ph": "i", "ts": -1}]}`,
+		"span no dur": `{"traceEvents": [{"name": "x", "ph": "X", "ts": 0}]}`,
+		"async no id": `{"traceEvents": [{"name": "x", "ph": "b", "ts": 0}]}`,
+	}
+	for label, data := range cases {
+		if _, err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted invalid input", label)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package trace
+
+// Compact recording summaries: per-category span counts and virtual-time
+// duration percentiles, plus per-resource busy fractions — the at-a-glance
+// block univistor-sim embeds in its JSON output and univistor-trace prints.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CategorySummary aggregates the spans of one category.
+type CategorySummary struct {
+	Category string `json:"category"`
+	// Count is the number of spans (instants are tallied separately).
+	Count int `json:"count"`
+	// TotalSeconds is the summed span duration in virtual seconds.
+	TotalSeconds float64 `json:"total_seconds"`
+	// P50/P95/P99 are span-duration percentiles in virtual seconds.
+	P50 float64 `json:"p50_seconds"`
+	P95 float64 `json:"p95_seconds"`
+	P99 float64 `json:"p99_seconds"`
+	// MaxSeconds is the longest span.
+	MaxSeconds float64 `json:"max_seconds"`
+}
+
+// ResourceSummary aggregates one resource's utilization timeline.
+type ResourceSummary struct {
+	Name string `json:"name"`
+	// CapacityBps is the resource's capacity in bytes/s.
+	CapacityBps float64 `json:"capacity_bytes_per_sec"`
+	// BusyFraction is the fraction of the recording during which the
+	// resource had a nonzero allocation.
+	BusyFraction float64 `json:"busy_fraction"`
+	// MeanUtilization is the time-weighted mean of rate/capacity over the
+	// recording.
+	MeanUtilization float64 `json:"mean_utilization"`
+	// Samples is the number of rate-change samples recorded.
+	Samples int `json:"samples"`
+}
+
+// Summary is the compact digest of a recording.
+type Summary struct {
+	// VirtualSeconds is the virtual-time extent of the recording.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	// Spans aggregates span events per category, sorted by category.
+	Spans []CategorySummary `json:"spans"`
+	// Resources aggregates the busiest resource timelines, sorted by
+	// descending busy fraction (name breaks ties).
+	Resources []ResourceSummary `json:"resources"`
+	// Instants is the number of instant events.
+	Instants int `json:"instants"`
+	// Flows is the number of fluid transfers recorded.
+	Flows int `json:"flows"`
+}
+
+// percentile returns the q-quantile (0 < q ≤ 1) of sorted durations.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summarize digests the recording. maxResources bounds the resource list
+// (0 means all).
+func (r *Recorder) Summarize(maxResources int) *Summary {
+	if r == nil {
+		return nil
+	}
+	s := &Summary{VirtualSeconds: float64(r.maxTime), Flows: len(r.flows)}
+
+	durs := map[Category][]float64{}
+	for _, tr := range r.tracks {
+		for _, ev := range tr.events {
+			if ev.Dur == instantDur {
+				s.Instants++
+				continue
+			}
+			d := ev.Dur
+			if d == openDur {
+				d = float64(r.maxTime - ev.Start)
+			}
+			durs[ev.Cat] = append(durs[ev.Cat], d)
+		}
+	}
+	for cat, ds := range durs {
+		sort.Float64s(ds)
+		total := 0.0
+		for _, d := range ds {
+			total += d
+		}
+		s.Spans = append(s.Spans, CategorySummary{
+			Category:     string(cat),
+			Count:        len(ds),
+			TotalSeconds: total,
+			P50:          percentile(ds, 0.50),
+			P95:          percentile(ds, 0.95),
+			P99:          percentile(ds, 0.99),
+			MaxSeconds:   ds[len(ds)-1],
+		})
+	}
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Category < s.Spans[j].Category })
+
+	end := float64(r.maxTime)
+	for _, res := range r.counterOrder {
+		c := r.counters[res]
+		rs := ResourceSummary{Name: c.name, CapacityBps: c.capacity, Samples: len(c.samples)}
+		if end > 0 {
+			busy, util := 0.0, 0.0
+			for i, smp := range c.samples {
+				next := end
+				if i+1 < len(c.samples) {
+					next = float64(c.samples[i+1].t)
+				}
+				dt := next - float64(smp.t)
+				if dt <= 0 {
+					continue
+				}
+				if smp.rate > 0 {
+					busy += dt
+					util += smp.rate / c.capacity * dt
+				}
+			}
+			rs.BusyFraction = busy / end
+			rs.MeanUtilization = util / end
+		}
+		s.Resources = append(s.Resources, rs)
+	}
+	sort.Slice(s.Resources, func(i, j int) bool {
+		if s.Resources[i].BusyFraction != s.Resources[j].BusyFraction {
+			return s.Resources[i].BusyFraction > s.Resources[j].BusyFraction
+		}
+		return s.Resources[i].Name < s.Resources[j].Name
+	})
+	if maxResources > 0 && len(s.Resources) > maxResources {
+		s.Resources = s.Resources[:maxResources]
+	}
+	return s
+}
+
+// Format writes the summary as aligned human-readable tables.
+func (s *Summary) Format(w io.Writer) {
+	fmt.Fprintf(w, "trace summary: %.6f virtual seconds, %d flows, %d instants\n",
+		s.VirtualSeconds, s.Flows, s.Instants)
+	if len(s.Spans) > 0 {
+		fmt.Fprintf(w, "%-14s %8s %12s %12s %12s %12s %12s\n",
+			"category", "spans", "total(s)", "p50(s)", "p95(s)", "p99(s)", "max(s)")
+		for _, c := range s.Spans {
+			fmt.Fprintf(w, "%-14s %8d %12.6f %12.6f %12.6f %12.6f %12.6f\n",
+				c.Category, c.Count, c.TotalSeconds, c.P50, c.P95, c.P99, c.MaxSeconds)
+		}
+	}
+	if len(s.Resources) > 0 {
+		fmt.Fprintf(w, "%-28s %14s %8s %8s %8s\n",
+			"resource", "cap(B/s)", "busy", "util", "samples")
+		for _, r := range s.Resources {
+			fmt.Fprintf(w, "%-28s %14.3g %8.3f %8.3f %8d\n",
+				r.Name, r.CapacityBps, r.BusyFraction, r.MeanUtilization, r.Samples)
+		}
+	}
+}
