@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench chaos-smoke
 
 all: check
 
@@ -16,8 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full CI gate: compile, static checks, race-enabled tests.
-check: build vet race
+# The full CI gate: compile, static checks, race-enabled tests, chaos gate.
+check: build vet race chaos-smoke
+
+# Every figure workload under seeded fault injection with all invariant
+# sweeps; exits non-zero on any violation.
+chaos-smoke:
+	$(GO) run -race ./cmd/univibench -chaos-smoke -quick
 
 # Quick paper-figure benchmark sweep.
 bench:

@@ -28,6 +28,8 @@ func main() {
 		verbose = flag.Bool("v", false, "print progress per data point")
 		list    = flag.Bool("list", false, "list available figure ids")
 		traceTo = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) of each run to this path (last run wins)")
+		smoke   = flag.Bool("chaos-smoke", false, "run every figure with fault injection armed and sweep all invariants; exit 1 on any violation")
+		spec    = flag.String("chaos-spec", "", "chaos spec for -chaos-smoke (default: the built-in non-destructive schedule)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,28 @@ func main() {
 	o.TracePath = *traceTo
 
 	switch {
+	case *smoke:
+		results, err := bench.ChaosSmoke(o, *spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "univibench: %v\n", err)
+			os.Exit(2)
+		}
+		bad := 0
+		for _, r := range results {
+			fmt.Printf("%-8s stacks=%d faults=%d sweeps=%d violations=%d\n",
+				r.Fig, len(r.Reports), r.Faults(), r.Checks(), r.Violations())
+			for _, rep := range r.Reports {
+				for _, v := range rep.Violations {
+					fmt.Printf("  VIOLATION [%s]: %s\n", rep.Spec, v)
+					bad++
+				}
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "univibench: chaos smoke found %d invariant violation(s)\n", bad)
+			os.Exit(1)
+		}
+		fmt.Println("chaos smoke: all invariants held on every workload")
 	case *all:
 		for _, r := range bench.All(o) {
 			r.Print(os.Stdout)

@@ -10,12 +10,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"univistor/internal/bb"
+	"univistor/internal/chaos"
 	"univistor/internal/core"
 	"univistor/internal/dataelevator"
 	"univistor/internal/lustre"
@@ -47,6 +49,12 @@ type Output struct {
 	Stats *core.Stats `json:"stats,omitempty"`
 	// TraceSummary digests the recorded spans when -trace is given.
 	TraceSummary *trace.Summary `json:"trace_summary,omitempty"`
+	// Chaos is the fault-injection and invariant report when -chaos is
+	// given. Same seed and flags, byte-identical document.
+	Chaos *chaos.Report `json:"chaos,omitempty"`
+	// ReadLostRanks counts ranks whose read-back hit data loss (crashed
+	// producer, no replica, no flushed copy) — only possible under -chaos.
+	ReadLostRanks int `json:"read_lost_ranks,omitempty"`
 }
 
 func main() {
@@ -63,6 +71,7 @@ func main() {
 		noCOC   = flag.Bool("no-coc", false, "disable collective open/close")
 		noADPT  = flag.Bool("no-adpt", false, "disable adaptive striping")
 		traceTo = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this path")
+		chaosIn = flag.String("chaos", "", "chaos spec, e.g. seed=1,check=0.5,crash=0@2 (univistor driver only; exits 1 on invariant violations)")
 	)
 	flag.Parse()
 
@@ -92,6 +101,7 @@ func main() {
 	var env *mpiio.Env
 	var uv *mpiio.UniviStorDriver
 	var de *dataelevator.Driver
+	var harness *chaos.Harness
 	switch *driver {
 	case "univistor":
 		cc := core.DefaultConfig()
@@ -121,6 +131,13 @@ func main() {
 		}
 		uv = mpiio.NewUniviStorDriver(sys)
 		env = mustEnv("univistor", uv)
+		if *chaosIn != "" {
+			spec, err := chaos.Parse(*chaosIn)
+			if err != nil {
+				fatal("%v", err)
+			}
+			harness = chaos.Arm(sys, spec)
+		}
 	case "dataelevator":
 		bbs, err := bb.New(w.Cluster)
 		if err != nil {
@@ -143,6 +160,7 @@ func main() {
 		FileName:     "sim.h5",
 	}
 	var maxWrite, maxRead sim.Time
+	readLost := 0
 	app := w.Launch("app", *procs, func(r *mpi.Rank) {
 		ws, err := workloads.MicroWrite(r, env, cfg)
 		if err != nil {
@@ -163,11 +181,18 @@ func main() {
 		}
 		if *doRead {
 			rs, err := workloads.MicroRead(r, env, cfg)
-			if err != nil {
+			switch {
+			case err == nil:
+				if rs.Total() > maxRead {
+					maxRead = rs.Total()
+				}
+			case harness != nil && errors.Is(err, core.ErrDataLost):
+				// Under chaos, losing unflushed/unreplicated data to an
+				// injected crash is a legitimate outcome; wrong bytes or
+				// any other error is not.
+				readLost++
+			default:
 				fatal("read: %v", err)
-			}
-			if rs.Total() > maxRead {
-				maxRead = rs.Total()
 			}
 		}
 		if uv != nil {
@@ -218,6 +243,11 @@ func main() {
 		st := uv.Sys.Stats()
 		out.Stats = &st
 	}
+	if harness != nil {
+		rep := harness.Finish()
+		out.Chaos = &rep
+		out.ReadLostRanks = readLost
+	}
 	if rec != nil {
 		if err := rec.ExportChromeFile(*traceTo); err != nil {
 			fatal("writing trace: %v", err)
@@ -228,6 +258,9 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fatal("%v", err)
+	}
+	if out.Chaos != nil && len(out.Chaos.Violations) > 0 {
+		fatal("%d invariant violation(s) under chaos", len(out.Chaos.Violations))
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"univistor/internal/bb"
+	"univistor/internal/chaos"
 	"univistor/internal/core"
 	"univistor/internal/dataelevator"
 	"univistor/internal/lustre"
@@ -51,6 +52,12 @@ type Options struct {
 	// run to this path (each run overwrites it, so the file holds the last
 	// data point — the largest scale of the final series).
 	TracePath string
+	// Chaos, when set, is a chaos.Parse spec armed on every UniviStor stack
+	// the sweep builds: seeded fault injection plus invariant sweeps.
+	Chaos string
+	// ChaosReport, when set alongside Chaos, observes each completed
+	// stack's chaos report (the -chaos-smoke collector).
+	ChaosReport func(chaos.Report)
 }
 
 // DefaultOptions reproduces the paper's sweep.
@@ -216,6 +223,9 @@ type stack struct {
 
 	Rec      *trace.Recorder // nil unless Options.TracePath is set
 	TraceOut string          // export destination for Rec
+
+	Chaos   *chaos.Harness // nil unless Options.Chaos is set (UV stacks only)
+	onChaos func(chaos.Report)
 }
 
 // variant describes one configuration under test.
@@ -253,6 +263,14 @@ func buildStack(v variant, procs int, o Options) *stack {
 		st.Env, err = mpiio.NewEnv("univistor", st.UV)
 		if err != nil {
 			panic(err)
+		}
+		if o.Chaos != "" {
+			spec, err := chaos.Parse(o.Chaos)
+			if err != nil {
+				panic(fmt.Sprintf("bench: chaos spec: %v", err))
+			}
+			st.Chaos = chaos.Arm(sys, spec)
+			st.onChaos = o.ChaosReport
 		}
 	case "dataelevator":
 		bbs, err := bb.New(w.Cluster)
@@ -298,6 +316,12 @@ func (st *stack) finish(jobs ...*mpi.Comm) {
 	st.E.Run()
 	if d := st.E.Deadlocked(); d != 0 {
 		panic(fmt.Sprintf("bench: %d processes deadlocked", d))
+	}
+	if st.Chaos != nil {
+		rep := st.Chaos.Finish()
+		if st.onChaos != nil {
+			st.onChaos(rep)
+		}
 	}
 	st.exportTrace()
 }

@@ -1,0 +1,87 @@
+package bench
+
+// Chaos smoke: every figure workload at the given sweep scale with a fault
+// schedule armed on each UniviStor stack and all invariants swept — the CI
+// gate that the resilience paths and the bookkeeping they touch stay
+// consistent under faults.
+
+import (
+	"fmt"
+
+	"univistor/internal/chaos"
+)
+
+// DefaultSmokeSpec is the schedule -chaos-smoke arms when none is given:
+// non-destructive faults only (stalls and degradations — crashes would
+// change the figure workloads' results), periodic sweeps through the
+// window every workload phase crosses, plus three seeded random faults.
+const DefaultSmokeSpec = "seed=1,check=0.5,horizon=20,rand=3," +
+	"stall=0@1+0.5,degrade=fabric:0.5@2+2,degrade=nic:0:0.5@4+2,degrade=ost:0:0.25@6+3"
+
+// SmokeResult is one figure's chaos outcome.
+type SmokeResult struct {
+	Fig     string
+	Reports []chaos.Report
+}
+
+// Violations counts invariant violations across the figure's stacks.
+func (s SmokeResult) Violations() int {
+	n := 0
+	for _, r := range s.Reports {
+		n += len(r.Violations)
+	}
+	return n
+}
+
+// Faults counts injected faults across the figure's stacks.
+func (s SmokeResult) Faults() int {
+	n := 0
+	for _, r := range s.Reports {
+		n += len(r.Faults)
+	}
+	return n
+}
+
+// Checks counts invariant sweeps across the figure's stacks.
+func (s SmokeResult) Checks() int {
+	n := 0
+	for _, r := range s.Reports {
+		n += r.Checks
+	}
+	return n
+}
+
+// smokeFigs are the figure workloads the smoke covers (the paper figures;
+// ablations rebuild the same stacks under different configs and add little
+// fault-path coverage for their cost).
+func smokeFigs() []string {
+	return []string{"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
+		"fig7", "fig8", "fig9", "fig10"}
+}
+
+// ChaosSmoke runs every figure workload with the chaos schedule armed and
+// returns the per-figure reports. The figure results themselves are
+// discarded — the smoke's output is whether every invariant held on every
+// stack of every workload.
+func ChaosSmoke(o Options, spec string) ([]SmokeResult, error) {
+	if spec == "" {
+		spec = DefaultSmokeSpec
+	}
+	if _, err := chaos.Parse(spec); err != nil {
+		return nil, err
+	}
+	o.Chaos = spec
+	var out []SmokeResult
+	for _, id := range smokeFigs() {
+		fn, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown smoke figure %q", id)
+		}
+		var reports []chaos.Report
+		o.ChaosReport = func(r chaos.Report) { reports = append(reports, r) }
+		o.progress("chaos-smoke %s", id)
+		fn(o)
+		out = append(out, SmokeResult{Fig: id, Reports: reports})
+	}
+	return out, nil
+}

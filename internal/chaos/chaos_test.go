@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"univistor/internal/core"
+	"univistor/internal/mpi"
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+const mib = int64(1) << 20
+
+// crashOutcome is one rank's read-back result under an injected crash.
+type crashOutcome struct {
+	Rank int
+	Got  string // "ok", "lost", or an unexpected error string
+}
+
+// runCrashScenario writes one 4 MiB block per rank (two ranks, one per
+// node), arms the given chaos spec, computes past the injection window, and
+// has each rank read the OTHER rank's block — the read must return the
+// exact written bytes or ErrDataLost, never anything else.
+func runCrashScenario(t *testing.T, specStr string, flush bool) (Report, []crashOutcome, core.Stats) {
+	t.Helper()
+	tc := topology.Cori()
+	tc.Nodes = 2
+	tc.CoresPerNode = 8
+	tc.SocketsPerNode = 2
+	tc.DRAMPerNode = 64 * mib
+	tc.BBNodes = 2
+	tc.BBCapPerNode = 256 * mib
+	tc.BBStripeSize = 1 * mib
+	tc.OSTs = 8
+	tc.OSTCapacity = 1 << 40
+	cc := core.DefaultConfig()
+	cc.ChunkSize = 1 * mib
+	cc.MetaRangeSize = 16 * mib
+	cc.FlushOnClose = flush
+
+	e := sim.NewEngine()
+	w := mpi.NewWorld(e, topology.New(e, tc), schedule.InterferenceAware)
+	sys, err := core.NewSystem(w, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(specStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Arm(sys, spec)
+
+	block := func(rank int) []byte {
+		return bytes.Repeat([]byte{byte('A' + rank)}, int(4*mib))
+	}
+	outcomes := make([]crashOutcome, 2)
+	app := w.Launch("app", 2, func(r *mpi.Rank) {
+		c := sys.Connect(r)
+		f, err := c.Open("f", core.WriteOnly)
+		if err != nil {
+			t.Errorf("rank %d open: %v", r.Rank(), err)
+			return
+		}
+		base := int64(r.Rank()) * 4 * mib
+		data := block(r.Rank())
+		for i := int64(0); i < 4; i++ {
+			if err := f.WriteAt(base+i*mib, 1*mib, data[i*mib:(i+1)*mib]); err != nil {
+				t.Errorf("rank %d write: %v", r.Rank(), err)
+			}
+		}
+		f.Close()
+		sys.WaitFlush(r.P, "f")
+		r.Barrier()
+		r.Compute(1.0) // move past the injection window before reading
+		other := 1 - r.Rank()
+		rf, err := c.Open("f", core.ReadOnly)
+		if err != nil {
+			t.Errorf("rank %d read open: %v", r.Rank(), err)
+			return
+		}
+		got, err := rf.ReadAt(int64(other)*4*mib, 4*mib)
+		out := crashOutcome{Rank: r.Rank()}
+		switch {
+		case errors.Is(err, core.ErrDataLost):
+			out.Got = "lost"
+		case err != nil:
+			out.Got = err.Error()
+		case bytes.Equal(got, block(other)):
+			out.Got = "ok"
+		default:
+			out.Got = "WRONG BYTES"
+		}
+		outcomes[r.Rank()] = out
+		rf.Close()
+		c.Disconnect()
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	e.Go("janitor", func(p *sim.Proc) {
+		app.Wait(p)
+		sys.Shutdown()
+	})
+	e.Run()
+	if d := e.Deadlocked(); d != 0 {
+		t.Fatalf("%d processes deadlocked", d)
+	}
+	return h.Finish(), outcomes, sys.Stats()
+}
+
+// TestCrashAfterFlushRescuedFromPFS: node 0 crashes after the flush
+// completed; rank 1's read of rank 0's block must be served from the
+// flushed PFS copy — correct bytes, counted as degraded.
+func TestCrashAfterFlushRescuedFromPFS(t *testing.T) {
+	rep, outcomes, st := runCrashScenario(t, "seed=2,check=0.1,horizon=2,crash=0@0.5", true)
+	if outcomes[1].Got != "ok" {
+		t.Errorf("rank 1 read of crashed producer's flushed block = %q, want ok", outcomes[1].Got)
+	}
+	if outcomes[0].Got != "ok" {
+		t.Errorf("rank 0 read of healthy producer's block = %q, want ok", outcomes[0].Got)
+	}
+	if st.BytesReadDegraded == 0 {
+		t.Error("no bytes counted as degraded despite the PFS rescue")
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("invariant violations under crash-after-flush: %v", rep.Violations)
+	}
+	if len(rep.Faults) != 1 {
+		t.Errorf("faults = %v, want exactly the crash", rep.Faults)
+	}
+}
+
+// TestCrashWithoutCopyReportsDataLost: no flush, no replication — the
+// crashed node's block is gone and the read must say so, while the healthy
+// node's block stays readable.
+func TestCrashWithoutCopyReportsDataLost(t *testing.T) {
+	rep, outcomes, _ := runCrashScenario(t, "seed=2,check=0.1,horizon=2,crash=0@0.5", false)
+	if outcomes[1].Got != "lost" {
+		t.Errorf("rank 1 read of crashed producer's block = %q, want lost", outcomes[1].Got)
+	}
+	if outcomes[0].Got != "ok" {
+		t.Errorf("rank 0 read of healthy producer's block = %q, want ok", outcomes[0].Got)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("invariant violations under data loss: %v", rep.Violations)
+	}
+}
+
+// TestWriteTriggeredCrashMidWrite crashes node 0 after the 6th completed
+// write — mid write phase. Every read must still be exact bytes or
+// ErrDataLost.
+func TestWriteTriggeredCrashMidWrite(t *testing.T) {
+	rep, outcomes, _ := runCrashScenario(t, "seed=2,check=0.1,horizon=2,crash=0@w6", false)
+	for _, o := range outcomes {
+		if o.Got != "ok" && o.Got != "lost" {
+			t.Errorf("rank %d outcome = %q, want ok or lost", o.Rank, o.Got)
+		}
+	}
+	if outcomes[1].Got != "lost" {
+		t.Errorf("rank 1 read of crashed producer's block = %q, want lost", outcomes[1].Got)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("invariant violations under mid-write crash: %v", rep.Violations)
+	}
+}
+
+// TestHarnessDeterministic: identical spec and workload twice — the
+// reports (faults, sweep counts, violations) and outcomes must match
+// exactly, including the seeded random faults.
+func TestHarnessDeterministic(t *testing.T) {
+	spec := "seed=5,check=0.1,horizon=2,rand=3,crash=0@0.5,degrade=fabric:0.5@0.2+0.5"
+	repA, outA, _ := runCrashScenario(t, spec, true)
+	repB, outB, _ := runCrashScenario(t, spec, true)
+	if !reflect.DeepEqual(repA, repB) {
+		t.Errorf("reports differ:\n%+v\n%+v", repA, repB)
+	}
+	if !reflect.DeepEqual(outA, outB) {
+		t.Errorf("outcomes differ: %v != %v", outA, outB)
+	}
+}
+
+// TestNonDestructiveFaultsHarmless: stalls and degradations slow the run
+// but never lose data or break an invariant.
+func TestNonDestructiveFaultsHarmless(t *testing.T) {
+	rep, outcomes, _ := runCrashScenario(t,
+		"seed=4,check=0.1,horizon=2,rand=2,stall=0@0.001+0.2,degrade=nic:0:0.2@0.001+1,bboutage@0.5+0.5", true)
+	for _, o := range outcomes {
+		if o.Got != "ok" {
+			t.Errorf("rank %d outcome = %q under non-destructive faults", o.Rank, o.Got)
+		}
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("invariant violations: %v", rep.Violations)
+	}
+	if len(rep.Faults) < 4 {
+		t.Errorf("expected explicit + random faults, got %v", rep.Faults)
+	}
+}
+
+// TestSkippedOutOfRangeFaults: targets beyond the cluster are recorded as
+// skipped, not panics.
+func TestSkippedOutOfRangeFaults(t *testing.T) {
+	rep, _, _ := runCrashScenario(t, "seed=1,crash=99@0.5,stall=99@0.5+0.1,degrade=ost:99:0.5@0.5", true)
+	if len(rep.Faults) != 3 {
+		t.Fatalf("faults = %v, want 3 skipped entries", rep.Faults)
+	}
+	for _, f := range rep.Faults {
+		if !contains(f, "skipped") {
+			t.Errorf("fault %q not marked skipped", f)
+		}
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+}
+
+func contains(s, sub string) bool {
+	return bytes.Contains([]byte(s), []byte(sub))
+}

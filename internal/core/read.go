@@ -123,7 +123,7 @@ func (cf *ClientFile) fetchSegment(p *sim.Proc, rec meta.Record, off, size int64
 	}
 
 	if sys.volatile(t) && sys.failedNodes[prodNode] {
-		return cf.fetchFromReplicaOrPFS(p, producer, bytes)
+		return cf.fetchFromReplicaOrPFS(p, producer, rec, lo, bytes)
 	}
 
 	dev := producer.devs[t]
@@ -146,6 +146,10 @@ func (cf *ClientFile) fetchSegment(p *sim.Proc, rec meta.Record, off, size int64
 	if err != nil {
 		return fmt.Errorf("core: reading segment of %q: %w", fs.name, err)
 	}
+	// Independent served-bytes ledger (incremented here, once per portion,
+	// regardless of locality) against which the per-locality Stats counters
+	// are checked for coherence.
+	sys.servedReadBytes += bytes
 	switch loc {
 	case tier.Local:
 		// Only the location-aware direct path counts as a local hit; the

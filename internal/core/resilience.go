@@ -59,22 +59,62 @@ func (sys *System) FailNode(node int) {
 		panic(fmt.Sprintf("core: FailNode(%d) out of range", node))
 	}
 	sys.failedNodes[node] = true
+	if sys.InvariantCheck != nil {
+		sys.InvariantCheck("fail-node")
+	}
 }
 
 // NodeFailed reports whether the node's volatile storage is gone.
 func (sys *System) NodeFailed(node int) bool { return sys.failedNodes[node] }
 
-// fetchFromReplicaOrPFS serves a volatile-tier segment whose producer node
-// failed: from the flushed PFS copy if one exists, else from the buddy
-// replica, else the data is lost.
-func (cf *ClientFile) fetchFromReplicaOrPFS(p *sim.Proc, producer *ClientFile, bytes int64) error {
+// Buddy returns the node holding node n's replicas (fault injectors use it
+// to aim double failures at a replica pair).
+func (sys *System) Buddy(n int) int { return sys.buddyNode(n) }
+
+// StallServer freezes server s's metadata service until the given virtual
+// time: requests arriving during the window queue behind it, modelling a
+// server pinned by an external hiccup (GC pause, OS jitter, IO stall).
+func (sys *System) StallServer(s int, until sim.Time) {
+	if s < 0 || s >= len(sys.servers) {
+		panic(fmt.Sprintf("core: StallServer(%d) out of range", s))
+	}
+	if srv := sys.servers[s]; srv.opsFree < until {
+		srv.opsFree = until
+	}
+}
+
+// SetWriteObserver installs fn to observe the running count of completed
+// WriteAt calls — the trigger for write-count-scheduled fault injection.
+func (sys *System) SetWriteObserver(fn func(total int64)) { sys.onWrite = fn }
+
+// AddExplain appends a line to the deployment decision log (the chaos
+// injector records every fault it fires here).
+func (sys *System) AddExplain(line string) { sys.explain = append(sys.explain, line) }
+
+// fetchFromReplicaOrPFS serves the [lo, lo+bytes) portion of a volatile-tier
+// segment (rec) whose producer node failed: from the flushed PFS copy if one
+// exists, else from the buddy replica, else the data is lost. Either rescue
+// path counts toward Stats.BytesReadDegraded.
+func (cf *ClientFile) fetchFromReplicaOrPFS(p *sim.Proc, producer *ClientFile, rec meta.Record, lo, bytes int64) error {
 	c := cf.c
 	sys := c.sys
 	fs := cf.fs
 	myNode := c.rank.Node()
 
+	sp := sys.W.Trace.Begin(p, trace.CatRead, "read-degraded")
+	defer func() { sp.End(p.Now()) }()
+
 	if fs.flushed && fs.pfsFile != nil {
-		fs.pfsFile.Read(p, myNode, 0, bytes, c.rank.H.MemPort)
+		// Address the segment's actual range inside the flush file: the
+		// layout recorded when the flush was triggered, advanced by how far
+		// into the segment this read starts.
+		off := lo
+		if base, ok := fs.flushOff[rec.Offset]; ok {
+			off = base + (lo - rec.Offset)
+		}
+		fs.pfsFile.Read(p, myNode, off, bytes, c.rank.H.MemPort)
+		sys.stats.BytesReadDegraded += bytes
+		sys.servedReadBytes += bytes
 		return nil
 	}
 	if !sys.Cfg.ReplicateVolatile {
@@ -91,6 +131,8 @@ func (cf *ClientFile) fetchFromReplicaOrPFS(p *sim.Proc, producer *ClientFile, b
 	path = append(path, sys.W.Cluster.NetPath(buddy.Node, myNode)...)
 	path = append(path, c.rank.H.MemPort)
 	p.Transfer(float64(bytes), path...)
+	sys.stats.BytesReadDegraded += bytes
+	sys.servedReadBytes += bytes
 	return nil
 }
 

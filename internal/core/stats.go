@@ -24,6 +24,9 @@ type Stats struct {
 	// BytesReadRemote counts bytes fetched from a remote node's private
 	// tiers via a server round-trip.
 	BytesReadRemote int64
+	// BytesReadDegraded counts bytes rescued after the producer node failed:
+	// served from the flushed PFS copy or the buddy-node replica.
+	BytesReadDegraded int64
 	// BytesFlushed counts bytes moved to the PFS by the flush service.
 	BytesFlushed int64
 	// Flushes counts completed flush operations.
@@ -68,20 +71,21 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		dropped = append(dropped, t.String())
 	}
 	return json.Marshal(struct {
-		BytesWritten    map[string]int64 `json:"bytes_written_by_tier"`
-		BytesReadLocal  int64            `json:"bytes_read_local"`
-		BytesReadShared int64            `json:"bytes_read_shared"`
-		BytesReadRemote int64            `json:"bytes_read_remote"`
-		BytesFlushed    int64            `json:"bytes_flushed"`
-		Flushes         int64            `json:"flushes"`
-		MetaOps         int64            `json:"meta_ops"`
-		OpenOps         int64            `json:"open_ops"`
-		Replications    int64            `json:"replications"`
-		Promotions      int64            `json:"promotions"`
-		Spills          int64            `json:"spills"`
-		DroppedTiers    []string         `json:"dropped_tiers"`
+		BytesWritten      map[string]int64 `json:"bytes_written_by_tier"`
+		BytesReadLocal    int64            `json:"bytes_read_local"`
+		BytesReadShared   int64            `json:"bytes_read_shared"`
+		BytesReadRemote   int64            `json:"bytes_read_remote"`
+		BytesReadDegraded int64            `json:"bytes_read_degraded"`
+		BytesFlushed      int64            `json:"bytes_flushed"`
+		Flushes           int64            `json:"flushes"`
+		MetaOps           int64            `json:"meta_ops"`
+		OpenOps           int64            `json:"open_ops"`
+		Replications      int64            `json:"replications"`
+		Promotions        int64            `json:"promotions"`
+		Spills            int64            `json:"spills"`
+		DroppedTiers      []string         `json:"dropped_tiers"`
 	}{written, s.BytesReadLocal, s.BytesReadShared, s.BytesReadRemote,
-		s.BytesFlushed, s.Flushes, s.MetaOps, s.OpenOps,
+		s.BytesReadDegraded, s.BytesFlushed, s.Flushes, s.MetaOps, s.OpenOps,
 		s.Replications, s.Promotions, s.Spills, dropped})
 }
 
@@ -94,7 +98,7 @@ func (s Stats) TotalBytesWritten() int64 {
 	return n
 }
 
-// TotalBytesRead sums the three read paths.
+// TotalBytesRead sums the four read paths (including degraded rescues).
 func (s Stats) TotalBytesRead() int64 {
-	return s.BytesReadLocal + s.BytesReadShared + s.BytesReadRemote
+	return s.BytesReadLocal + s.BytesReadShared + s.BytesReadRemote + s.BytesReadDegraded
 }

@@ -43,6 +43,22 @@ type System struct {
 	nodeAppCount   map[string][]int
 	failedNodes    []bool // nodes whose volatile storage is gone
 	stats          Stats
+
+	// InvariantCheck, when set, is invoked at interesting state transitions
+	// (flush completion, node failure) with a stage label — the chaos
+	// harness's hook for sweeping invariants exactly when state changes
+	// hands. It runs in the context of the process driving the transition
+	// and must not block.
+	InvariantCheck func(stage string)
+
+	// writeOps counts completed WriteAt calls; onWrite (when set) observes
+	// each one — the trigger for write-count-scheduled fault injection.
+	writeOps int64
+	onWrite  func(total int64)
+	// servedReadBytes shadows the read path independently of the Stats
+	// counters: every segment portion a read successfully retrieves adds
+	// its bytes here, so stats coherence is checkable (see CheckInvariants).
+	servedReadBytes int64
 }
 
 // Server is one UniviStor server process.
@@ -80,8 +96,16 @@ type fileState struct {
 	flushStart     sim.Time
 	flushEnd       sim.Time
 	flushedBytes   int64
-	flushEv        sim.Event
-	pfsFile        *lustre.File
+	// flushEv signals the completion of the *current* flush. sim.Event is
+	// one-shot, so each triggerFlush installs a fresh event; waiters of a
+	// finished flush saw theirs set, waiters of the next flush park on the
+	// next event.
+	flushEv *sim.Event
+	pfsFile *lustre.File
+	// flushOff maps a segment (by logical offset, the ring's key) to its
+	// byte offset in the flush file, recorded when the flush is triggered
+	// so degraded reads address the real range of the flushed copy.
+	flushOff map[int64]int64
 
 	// reservations to release when the flush (or final close) retires the
 	// cached copies.
@@ -91,6 +115,15 @@ type fileState struct {
 	// proactive-placement extension; promotions counts migrations done.
 	heat       map[int64]int
 	promotions int
+
+	// totalWritten accumulates every logical byte ever written to the file
+	// (never reset by flushes) — the independent ledger the stats-coherence
+	// invariant compares Stats.BytesWritten against. overwritten counts the
+	// bytes of records replaced by exact-key rewrites (the HDF5 metadata
+	// region is rewritten at every dataset create), so totalWritten minus
+	// overwritten is what the metadata ring must still resolve.
+	totalWritten int64
+	overwritten  int64
 }
 
 type reservation struct {
@@ -306,6 +339,9 @@ type flushReq struct {
 	rangeLen int64
 	// source bytes per tier for the read leg of the pipeline.
 	tierBytes map[meta.Tier]int64
+	// done is this flush's completion event (fresh per flush; the last
+	// finishing server sets it).
+	done *sim.Event
 }
 
 // triggerFlush builds the striping plan for the file's cached bytes and
@@ -383,10 +419,27 @@ func (sys *System) triggerFlush(p *sim.Proc, fs *fileState) {
 	fs.flushing = true
 	fs.flushRemaining = len(flushers)
 	fs.flushStart = p.Now()
+	// Re-arm completion signalling: sim.Event is one-shot, so every flush
+	// gets a fresh event. Waiters of a completed earlier flush already saw
+	// theirs set; WaitFlush callers during this flush park on this one.
+	fs.flushEv = &sim.Event{}
 	sp := sys.W.Trace.Begin(p, trace.CatFlush, "flush-trigger")
 	if sys.Cfg.Workflow {
 		sys.WF.BeginFlush(p, fs.name)
 	}
+
+	// Segments grouped by their producer's server, in logical-offset order
+	// (the ring returns them sorted) — the order each server drains its
+	// range in, which fixes where every segment's flushed copy lands.
+	recs, _ := sys.ring.Covering(fs.fid, 0, fs.logicalSize)
+	recsByServer := map[int][]meta.Record{}
+	for _, rec := range recs {
+		if pf := fs.procFiles[rec.Proc]; pf != nil {
+			gi := pf.c.server.GlobalIdx
+			recsByServer[gi] = append(recsByServer[gi], rec)
+		}
+	}
+	fs.flushOff = map[int64]int64{}
 
 	// Each flusher gets a contiguous, even range of the flush file.
 	per := total / int64(len(flushers))
@@ -398,7 +451,24 @@ func (sys *System) triggerFlush(p *sim.Proc, fs *fileState) {
 			length++
 		}
 		req := &flushReq{fs: fs, rangeOff: off, rangeLen: length,
-			tierBytes: fs.cached[idx]}
+			tierBytes: fs.cached[idx], done: fs.flushEv}
+		// Record where each of this server's segments lands inside its
+		// range, so degraded reads (producer node failed after the flush)
+		// address the real flushed copy. Segments laid out back to back;
+		// positions are clamped into the range (its even split can differ
+		// slightly from the server's exact cached bytes).
+		pos := req.rangeOff
+		for _, rec := range recsByServer[idx] {
+			p0 := pos
+			if max := req.rangeOff + req.rangeLen - rec.Size; p0 > max {
+				p0 = max
+			}
+			if p0 < req.rangeOff {
+				p0 = req.rangeOff
+			}
+			fs.flushOff[rec.Offset] = p0
+			pos += rec.Size
+		}
 		off += length
 		srv := sys.servers[idx]
 		// The trigger costs one small message per server.
@@ -454,13 +524,16 @@ func (s *Server) doFlush(r *mpi.Rank, req *flushReq) {
 		}
 		r.H.SetRunnable(false) // back to quiet event-driven idling
 	}
-	s.finishFlushPart(r, req.fs)
+	s.finishFlushPart(r, req)
 }
 
 // finishFlushPart retires one server's share; the last server completes the
-// flush: timestamps, capacity release, workflow unlock.
-func (s *Server) finishFlushPart(r *mpi.Rank, fs *fileState) {
+// flush: timestamps, capacity release, workflow unlock. It sets the
+// request's own completion event — the one armed when this flush was
+// triggered — so a waiter can never be released by a different flush.
+func (s *Server) finishFlushPart(r *mpi.Rank, req *flushReq) {
 	sys := s.sys
+	fs := req.fs
 	fs.flushRemaining--
 	if fs.flushRemaining > 0 {
 		return
@@ -481,7 +554,10 @@ func (s *Server) finishFlushPart(r *mpi.Rank, fs *fileState) {
 	if sys.Cfg.Workflow {
 		sys.WF.EndFlush(r.P, fs.name)
 	}
-	fs.flushEv.Set()
+	req.done.Set()
+	if sys.InvariantCheck != nil {
+		sys.InvariantCheck("flush-complete")
+	}
 }
 
 // Explain returns the deployment decision log: human-readable lines
@@ -497,10 +573,12 @@ func (sys *System) Explain() []string {
 func (sys *System) Chain() *tier.Chain { return sys.chain }
 
 // WaitFlush blocks the process until the file's pending flush completes.
-// It returns immediately if no flush is outstanding.
+// It returns immediately if no flush is outstanding. Each flush arms its
+// own completion event, so waiting during a second (or later) flush blocks
+// until *that* flush finishes rather than being satisfied by the first.
 func (sys *System) WaitFlush(p *sim.Proc, name string) {
 	fs, ok := sys.files[name]
-	if !ok || (!fs.flushing && fs.flushRemaining == 0) {
+	if !ok || fs.flushEv == nil || (!fs.flushing && fs.flushRemaining == 0) {
 		return
 	}
 	fs.flushEv.Wait(p)

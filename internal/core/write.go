@@ -74,6 +74,12 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 	rec := meta.Record{FID: cf.fs.fid, Offset: off, Size: size, Proc: c.globalID, VA: va}
 	ringIdx := sys.ring.HomeServer(off)
 	sys.chargeMetaOp(p, c.rank.Node(), sys.metaServer(ringIdx))
+	if prev, ok := sys.ring.Get(cf.fs.fid, off); ok {
+		// Exact-key rewrite: the replaced record's bytes leave the
+		// resolvable set (tracked so the coverage invariant can reconcile
+		// the ring against the written-bytes ledger).
+		cf.fs.overwritten += prev.Size
+	}
 	sys.ring.Put(rec)
 	// Shared metadata buffer on the producing node (§II-B4): free local
 	// lookup for locally generated segments.
@@ -93,10 +99,15 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 	}
 	byTier[placed] += size
 	cf.fs.cachedTotal += size
+	cf.fs.totalWritten += size
 	cf.written += size
 	sys.stats.BytesWritten[placed] += size
 	if fastest, ok := sys.chain.FastestCache(); ok && placed != fastest {
 		sys.stats.Spills++
+	}
+	sys.writeOps++
+	if sys.onWrite != nil {
+		sys.onWrite(sys.writeOps)
 	}
 	return nil
 }

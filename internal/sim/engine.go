@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"sync/atomic"
 )
 
@@ -292,6 +293,11 @@ type Resource struct {
 
 	id     int64 // creation order; deterministic tie-breaking
 	nflows int   // active flows crossing this resource (maintained by flowSet)
+	// alloc is the allocated rate across this resource after the most
+	// recent recompute, with each flow counted once even when its path
+	// crosses the resource several times (maintained by flowSet; the same
+	// value ResourceSample reports).
+	alloc float64
 }
 
 var resourceSeq atomic.Int64
@@ -305,17 +311,13 @@ func NewResource(name string, capacity float64) *Resource {
 }
 
 // Utilization returns the fraction of capacity currently allocated, in
-// [0, 1]. It reflects the most recent rate computation.
+// [0, 1]. It reflects the most recent rate computation: the allocator
+// caches the per-resource rate on every recompute, so this is O(1) and
+// counts each flow once even when its path crosses the resource more
+// than once — the same value ResourceSample reports.
 func (r *Resource) Utilization(e *Engine) float64 {
-	used := 0.0
-	for _, f := range e.flows.active {
-		for _, fr := range f.resources {
-			if fr == r {
-				used += f.rate
-			}
-		}
-	}
-	return used / r.Capacity
+	_ = e // kept for API compatibility; the rate is cached on the resource
+	return r.alloc / r.Capacity
 }
 
 type flow struct {
@@ -341,8 +343,9 @@ type flowSet struct {
 	touched []*Resource
 	heapBuf shareHeap
 
-	// lastSampled are the resources reported to the tracer by the previous
-	// recompute; ones that drop out get a closing zero-rate sample.
+	// lastSampled are the resources whose alloc cache the previous
+	// recompute set; ones that drop out are zeroed (and, with a tracer
+	// attached, get a closing zero-rate sample).
 	lastSampled []*Resource
 }
 
@@ -354,23 +357,39 @@ func (fs *flowSet) traceFlowStart(f *flow, size float64) {
 	e.tracer.FlowBegin(e.now, f.traceID, size, f.resources)
 }
 
-// emitSamples reports the post-recompute allocated rate of every touched
-// resource, closing out resources that no longer carry flows.
-func (fs *flowSet) emitSamples(states map[*Resource]*resState, gen int64) {
+// cacheRates stores the post-recompute allocated rate of every touched
+// resource on the resource itself (the cache Utilization reads), closing
+// out resources that no longer carry flows. A flow whose path crosses the
+// same resource several times appears consecutively in the state's flow
+// list and is counted once. With a tracer attached, the same values are
+// reported as ResourceSamples, so Utilization and the recorded timeline
+// always agree.
+func (fs *flowSet) cacheRates(states map[*Resource]*resState, gen int64) {
 	e := fs.e
 	for _, r := range fs.lastSampled {
 		if st := states[r]; st == nil || st.gen != gen {
-			e.tracer.ResourceSample(e.now, r, 0)
+			r.alloc = 0
+			if e.tracer != nil {
+				e.tracer.ResourceSample(e.now, r, 0)
+			}
 		}
 	}
 	for _, r := range fs.touched {
 		used := 0.0
+		var prev *flow
 		for _, f := range states[r].flows {
+			if f == prev {
+				continue // repeat crossing of the same flow
+			}
+			prev = f
 			if f.rate > 0 {
 				used += f.rate
 			}
 		}
-		e.tracer.ResourceSample(e.now, r, used)
+		r.alloc = used
+		if e.tracer != nil {
+			e.tracer.ResourceSample(e.now, r, used)
+		}
 	}
 	fs.lastSampled = append(fs.lastSampled[:0], fs.touched...)
 }
@@ -457,12 +476,13 @@ func (fs *flowSet) recompute() {
 	}
 	n := len(fs.active)
 	if n == 0 {
-		if fs.e.tracer != nil && len(fs.lastSampled) > 0 {
-			for _, r := range fs.lastSampled {
+		for _, r := range fs.lastSampled {
+			r.alloc = 0
+			if fs.e.tracer != nil {
 				fs.e.tracer.ResourceSample(fs.e.now, r, 0)
 			}
-			fs.lastSampled = fs.lastSampled[:0]
 		}
+		fs.lastSampled = fs.lastSampled[:0]
 		return
 	}
 	if fs.scratch == nil {
@@ -535,9 +555,7 @@ func (fs *flowSet) recompute() {
 			}
 		}
 	}
-	if fs.e.tracer != nil {
-		fs.emitSamples(states, gen)
-	}
+	fs.cacheRates(states, gen)
 	// Earliest completion.
 	bestT := Infinity
 	for _, f := range fs.active {
@@ -686,4 +704,41 @@ func (e *Engine) RecomputeFlows() {
 	e.flows.dirty = false // supersedes any queued deferred recompute
 	e.flows.advance(e.now)
 	e.flows.recompute()
+}
+
+// CheckFlowConservation verifies that the current rate assignment respects
+// every resource's capacity: the sum of allocated rates across a resource
+// (counted once per path crossing, matching what the allocator charges)
+// must not exceed Capacity·(1+eps). A pending same-instant recompute is
+// applied first so the check never sees a half-updated active set. It
+// returns one human-readable line per violated resource, in deterministic
+// (resource-creation) order — the flow-conservation invariant of the chaos
+// harness.
+func (e *Engine) CheckFlowConservation(eps float64) []string {
+	if e.flows.dirty {
+		e.RecomputeFlows()
+	}
+	used := map[*Resource]float64{}
+	var order []*Resource
+	for _, f := range e.flows.active {
+		if f.rate <= 0 {
+			continue
+		}
+		for _, r := range f.resources {
+			if _, seen := used[r]; !seen {
+				order = append(order, r)
+			}
+			used[r] += f.rate
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
+	var out []string
+	for _, r := range order {
+		if used[r] > r.Capacity*(1+eps) {
+			out = append(out, fmt.Sprintf(
+				"sim: resource %q over-allocated: %.6g B/s across %.6g B/s capacity",
+				r.Name, used[r], r.Capacity))
+		}
+	}
+	return out
 }

@@ -453,3 +453,109 @@ func TestEqualFlowsFinishTogetherProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// utilSampler records ResourceSamples so tests can compare the recorded
+// timeline against Utilization.
+type utilSampler struct {
+	last map[*Resource]float64
+}
+
+func (s *utilSampler) FlowBegin(Time, int64, float64, []*Resource) {}
+func (s *utilSampler) FlowEnd(Time, int64)                         {}
+func (s *utilSampler) Instant(Time, string, string)                {}
+func (s *utilSampler) ResourceSample(_ Time, r *Resource, rate float64) {
+	if s.last == nil {
+		s.last = map[*Resource]float64{}
+	}
+	s.last[r] = rate
+}
+
+func TestUtilizationCountsRepeatCrossingOnce(t *testing.T) {
+	// A flow whose path crosses the same resource twice is charged two
+	// capacity shares by the allocator (it really moves its bytes through
+	// the resource twice), but the flow itself runs at one rate.
+	// Utilization must report that rate once — matching ResourceSample —
+	// not once per crossing.
+	e := NewEngine()
+	s := &utilSampler{}
+	e.SetTracer(s)
+	r := NewResource("loop", 100)
+	var mid float64
+	e.Go("w", func(p *Proc) { p.Transfer(500, r, r) })
+	e.After(1, func() { mid = r.Utilization(e) })
+	e.Run()
+	// Two crossings of a 100 B/s resource: the allocator grants 50 B/s.
+	if !almostEqual(mid, 0.5, 1e-9) {
+		t.Errorf("mid-flow Utilization = %v, want 0.5 (one count of the 50 B/s rate)", mid)
+	}
+	if got := s.last[r]; !almostEqual(got, 0, 1e-9) {
+		t.Errorf("final ResourceSample = %v, want 0 after completion", got)
+	}
+	if u := r.Utilization(e); u != 0 {
+		t.Errorf("Utilization after completion = %v, want 0", u)
+	}
+}
+
+func TestUtilizationMatchesResourceSample(t *testing.T) {
+	e := NewEngine()
+	s := &utilSampler{}
+	e.SetTracer(s)
+	nic := NewResource("nic", 100)
+	disk := NewResource("disk", 400)
+	e.Go("w1", func(p *Proc) { p.Transfer(1000, nic, disk) })
+	e.Go("w2", func(p *Proc) { p.Transfer(1000, disk) })
+	e.After(1, func() {
+		for _, r := range []*Resource{nic, disk} {
+			want := s.last[r] / r.Capacity
+			if got := r.Utilization(e); !almostEqual(got, want, 1e-9) {
+				t.Errorf("Utilization(%s) = %v, want %v (last ResourceSample)", r.Name, got, want)
+			}
+		}
+	})
+	e.Run()
+}
+
+func TestUtilizationZeroAfterFlowsDrain(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("disk", 100)
+	e.Go("w", func(p *Proc) { p.Transfer(100, r) })
+	var during float64
+	e.After(0.5, func() { during = r.Utilization(e) })
+	e.Run()
+	if !almostEqual(during, 1.0, 1e-9) {
+		t.Errorf("Utilization during single flow = %v, want 1.0", during)
+	}
+	if u := r.Utilization(e); u != 0 {
+		t.Errorf("Utilization after drain = %v, want 0", u)
+	}
+}
+
+func TestCheckFlowConservation(t *testing.T) {
+	e := NewEngine()
+	a := NewResource("a", 100)
+	b := NewResource("b", 50)
+	e.Go("w1", func(p *Proc) { p.Transfer(1000, a, b) })
+	e.Go("w2", func(p *Proc) { p.Transfer(1000, a) })
+	checked := false
+	e.After(1, func() {
+		if v := e.CheckFlowConservation(1e-6); len(v) != 0 {
+			t.Errorf("unexpected conservation violations: %v", v)
+		}
+		// Degrading a capacity without recomputing leaves the stale rates
+		// over-allocating the resource — exactly what the check reports.
+		a.Capacity = 10
+		if v := e.CheckFlowConservation(1e-6); len(v) == 0 {
+			t.Error("expected a violation after capacity cut without recompute")
+		}
+		// RecomputeFlows restores conservation under the new capacity.
+		e.RecomputeFlows()
+		if v := e.CheckFlowConservation(1e-6); len(v) != 0 {
+			t.Errorf("violations after recompute: %v", v)
+		}
+		checked = true
+	})
+	e.Run()
+	if !checked {
+		t.Fatal("check callback never ran")
+	}
+}

@@ -138,6 +138,15 @@ func Adaptive(p Params) (Plan, error) {
 	cur := int64(0)
 	for s := 0; s < p.Servers; s++ {
 		bytes := serverBytes(p.FileSize, p.Servers, s)
+		if bytes == 0 {
+			// A file smaller than the server count leaves trailing servers
+			// with nothing to write; give them an explicit empty (not nil)
+			// assignment so consumers can range without special-casing.
+			plan.Assignments = append(plan.Assignments, Assignment{
+				Server: s, OSTs: []int{}, OSTBytes: []int64{}, StripeSize: stripe,
+			})
+			continue
+		}
 		start, end := cur, cur+bytes
 		cur = end
 		var osts []int
@@ -230,6 +239,9 @@ func serverBytes(fileSize int64, servers, s int) int64 {
 func (pl Plan) LoadPerOST(maxUnits int) []int64 {
 	load := make([]int64, maxUnits)
 	for _, a := range pl.Assignments {
+		if a.Bytes == 0 || len(a.OSTs) == 0 {
+			continue // zero-byte server: nothing lands anywhere
+		}
 		if a.OSTBytes != nil {
 			for i, o := range a.OSTs {
 				load[o] += a.OSTBytes[i]

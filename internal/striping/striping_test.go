@@ -181,7 +181,12 @@ func TestPlanInvariantsProperty(t *testing.T) {
 			var total int64
 			for _, a := range plan.Assignments {
 				total += a.Bytes
-				if len(a.OSTs) == 0 || len(a.OSTs) > p.MaxUnits {
+				// Zero-byte servers (FileSize < Servers) legitimately hold an
+				// empty OST set; any server with bytes must have targets.
+				if a.Bytes > 0 && len(a.OSTs) == 0 {
+					return false
+				}
+				if len(a.OSTs) > p.MaxUnits {
 					return false
 				}
 				for _, o := range a.OSTs {
@@ -203,6 +208,67 @@ func TestPlanInvariantsProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Tiny files — fewer bytes than flushing servers — used to give trailing
+// servers a nil OST set, and LoadPerOST divided by len(OSTs) == 0.
+func TestTinyFilePlansDoNotPanic(t *testing.T) {
+	for _, servers := range []int{2, 7, 64, 128} {
+		for _, size := range []int64{1, 2, int64(servers) - 1} {
+			if size <= 0 {
+				continue
+			}
+			p := Params{MaxUnits: 8, Servers: servers, Alpha: 8,
+				FileSize: size, MaxStripe: 1 << 20}
+			for _, mk := range []func(Params) (Plan, error){
+				Adaptive, Eq5,
+				func(p Params) (Plan, error) { return StripeAll(p, 1<<16) },
+			} {
+				plan, err := mk(p)
+				if err != nil {
+					t.Fatalf("servers=%d size=%d: %v", servers, size, err)
+				}
+				load := plan.LoadPerOST(p.MaxUnits) // must not panic
+				var sum, assigned int64
+				for _, l := range load {
+					sum += l
+				}
+				for _, a := range plan.Assignments {
+					assigned += a.Bytes
+				}
+				if sum != size || assigned != size {
+					t.Errorf("%s servers=%d size=%d: load sum %d, assigned %d, want %d",
+						plan.Policy, servers, size, sum, assigned, size)
+				}
+				_ = plan.Imbalance(p.MaxUnits)
+			}
+		}
+	}
+}
+
+// The tiny-file property: every plan maker handles FileSize < Servers.
+func TestTinyFileProperty(t *testing.T) {
+	prop := func(serversRaw uint8, sizeRaw uint8) bool {
+		servers := int(serversRaw)%126 + 2
+		size := int64(sizeRaw)%int64(servers-1) + 1 // always < servers
+		p := Params{MaxUnits: 8, Servers: servers, Alpha: 8,
+			FileSize: size, MaxStripe: 1 << 20}
+		plan, err := Adaptive(p)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, l := range plan.LoadPerOST(p.MaxUnits) {
+			if l < 0 {
+				return false
+			}
+			sum += l
+		}
+		return sum == size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
 }

@@ -41,6 +41,8 @@ const (
 	CatReplicate Category = "replicate"
 	// CatFlow: fluid-flow transfers inside the simulation engine.
 	CatFlow Category = "flow"
+	// CatChaos: fault injections and invariant sweeps of the chaos harness.
+	CatChaos Category = "chaos"
 	// CatSim: engine-level diagnostics (the Tracef compat shim).
 	CatSim Category = "sim"
 )

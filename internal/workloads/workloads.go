@@ -59,23 +59,27 @@ func MicroWrite(r *mpi.Rank, env *mpiio.Env, cfg MicroConfig) (MicroStats, error
 
 	t1 := r.Now()
 	base := int64(r.Rank()) * cfg.BytesPerRank
+	var ioErr error
 	for off := int64(0); off < cfg.BytesPerRank; off += cfg.SegmentBytes {
 		n := cfg.SegmentBytes
 		if off+n > cfg.BytesPerRank {
 			n = cfg.BytesPerRank - off
 		}
 		if err := f.WriteAt(base+off, n, nil); err != nil {
-			return st, fmt.Errorf("micro write: %w", err)
+			ioErr = fmt.Errorf("micro write: %w", err)
+			break
 		}
 	}
 	st.IOTime = r.Now() - t1
 
+	// Close even after an I/O error: Close is collective, and a rank that
+	// bails without it strands every healthy rank in the close barrier.
 	t2 := r.Now()
-	if err := f.Close(); err != nil {
-		return st, fmt.Errorf("micro write close: %w", err)
+	if err := f.Close(); err != nil && ioErr == nil {
+		ioErr = fmt.Errorf("micro write close: %w", err)
 	}
 	st.CloseTime = r.Now() - t2
-	return st, nil
+	return st, ioErr
 }
 
 // MicroRead reads back each rank's own block of the shared file.
@@ -91,23 +95,28 @@ func MicroRead(r *mpi.Rank, env *mpiio.Env, cfg MicroConfig) (MicroStats, error)
 
 	t1 := r.Now()
 	base := int64(r.Rank()) * cfg.BytesPerRank
+	var ioErr error
 	for off := int64(0); off < cfg.BytesPerRank; off += cfg.SegmentBytes {
 		n := cfg.SegmentBytes
 		if off+n > cfg.BytesPerRank {
 			n = cfg.BytesPerRank - off
 		}
 		if _, err := f.ReadAt(base+off, n); err != nil {
-			return st, fmt.Errorf("micro read: %w", err)
+			ioErr = fmt.Errorf("micro read: %w", err)
+			break
 		}
 	}
 	st.IOTime = r.Now() - t1
 
+	// Close even when a read failed (e.g. ErrDataLost under fault
+	// injection): Close is collective, and skipping it deadlocks the ranks
+	// that read successfully.
 	t2 := r.Now()
-	if err := f.Close(); err != nil {
-		return st, fmt.Errorf("micro read close: %w", err)
+	if err := f.Close(); err != nil && ioErr == nil {
+		ioErr = fmt.Errorf("micro read close: %w", err)
 	}
 	st.CloseTime = r.Now() - t2
-	return st, nil
+	return st, ioErr
 }
 
 // ---------------------------------------------------------------------------
