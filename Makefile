@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench chaos-smoke
+.PHONY: all build vet test race check bench bench-perf chaos-smoke
 
 all: check
 
@@ -27,3 +27,8 @@ chaos-smoke:
 # Quick paper-figure benchmark sweep.
 bench:
 	$(GO) run ./cmd/univibench -quick -all
+
+# Wall-clock comparison of the incremental vs global flow allocator over
+# the quick figure sweeps; writes BENCH_PR5.json.
+bench-perf:
+	$(GO) run ./cmd/univibench -quick -perf -perf-out BENCH_PR5.json

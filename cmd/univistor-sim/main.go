@@ -47,6 +47,8 @@ type Output struct {
 
 	// Stats is the full core counter snapshot (univistor driver only).
 	Stats *core.Stats `json:"stats,omitempty"`
+	// Alloc is the engine's cumulative flow-allocator counters.
+	Alloc *sim.AllocStats `json:"alloc,omitempty"`
 	// TraceSummary digests the recorded spans when -trace is given.
 	TraceSummary *trace.Summary `json:"trace_summary,omitempty"`
 	// Chaos is the fault-injection and invariant report when -chaos is
@@ -72,6 +74,7 @@ func main() {
 		noADPT  = flag.Bool("no-adpt", false, "disable adaptive striping")
 		traceTo = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this path")
 		chaosIn = flag.String("chaos", "", "chaos spec, e.g. seed=1,check=0.5,crash=0@2 (univistor driver only; exits 1 on invariant violations)")
+		alloc   = flag.String("alloc", "", "flow allocator: incremental (default) | global (also settable via UNIVISTOR_SIM_ALLOC)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,15 @@ func main() {
 	}
 
 	e := sim.NewEngine()
+	switch *alloc {
+	case "":
+	case "incremental":
+		e.SetAllocMode(sim.AllocIncremental)
+	case "global":
+		e.SetAllocMode(sim.AllocGlobal)
+	default:
+		fatal("unknown allocator %q (want incremental or global)", *alloc)
+	}
 	policy := schedule.InterferenceAware
 	if *noIA {
 		policy = schedule.CFS
@@ -243,6 +255,8 @@ func main() {
 		st := uv.Sys.Stats()
 		out.Stats = &st
 	}
+	as := e.AllocStats()
+	out.Alloc = &as
 	if harness != nil {
 		rep := harness.Finish()
 		out.Chaos = &rep

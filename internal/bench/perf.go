@@ -1,0 +1,155 @@
+package bench
+
+// The -perf mode: wall-clock throughput of the simulation itself, run
+// once per allocator mode. The simulated results are byte-identical
+// across modes (the incremental allocator is observationally equivalent
+// to the historical global solver), so the only thing that differs is
+// how long the host takes to produce them — which is exactly what this
+// file measures and writes to BENCH_PR5.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"univistor/internal/sim"
+)
+
+// PerfFigure is one figure sweep's wall-clock comparison.
+type PerfFigure struct {
+	// Figure is the sweep's id ("fig9", …).
+	Figure string `json:"figure"`
+	// Scales are the process counts swept.
+	Scales []int `json:"scales"`
+	// Reps is the repetition count; the reported times are best-of-reps.
+	Reps int `json:"reps"`
+	// IncrementalMillis / GlobalMillis are best-of-reps wall-clock times
+	// for the full sweep under each allocator.
+	IncrementalMillis float64 `json:"incremental_ms"`
+	GlobalMillis      float64 `json:"global_ms"`
+	// Speedup is GlobalMillis / IncrementalMillis.
+	Speedup float64 `json:"speedup"`
+	// Alloc sums the incremental runs' allocator counters across one rep
+	// of the sweep (how much solving the partition actually did).
+	Alloc sim.AllocStats `json:"alloc"`
+}
+
+// PerfReport is the BENCH_PR5.json document.
+type PerfReport struct {
+	// Benchmark names the measurement series.
+	Benchmark string `json:"benchmark"`
+	// Quick records whether the laptop-scale sweep options were used.
+	Quick bool `json:"quick"`
+	// Figures holds one comparison per sweep, in run order.
+	Figures []PerfFigure `json:"figures"`
+	// LargestSweep is the figure with the largest global-allocator wall
+	// clock — the most expensive sweep, whose speedup is the headline.
+	LargestSweep string `json:"largest_sweep"`
+	// HeadlineSpeedup is the speedup of the largest sweep.
+	HeadlineSpeedup float64 `json:"headline_speedup"`
+}
+
+// DefaultPerfFigures are the sweeps the perf mode times when none are
+// requested: the partition-friendly independent-job figures plus the
+// fully fabric-coupled workflow figures (fig9 is the largest and sets
+// the headline).
+func DefaultPerfFigures() []string {
+	return []string{"fig5a", "fig6a", "fig7", "fig8", "fig9"}
+}
+
+// RunPerf times the given figure sweeps under both allocators and
+// returns the comparison. Each sweep runs reps times per mode and the
+// minimum wall clock is kept (the least-noise estimate of the true
+// cost). quick records which option preset o carries. progress, when
+// non-nil, receives one line per measurement.
+func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writer) (*PerfReport, error) {
+	if len(figures) == 0 {
+		figures = DefaultPerfFigures()
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	rep := &PerfReport{Benchmark: "BENCH_PR5", Quick: quick}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+	maxGlobal := 0.0
+	for _, id := range figures {
+		runner, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown perf figure %q", id)
+		}
+		pf := PerfFigure{Figure: id, Scales: o.Scales, Reps: reps}
+		timeSweep := func(global bool, collect bool) float64 {
+			ro := o
+			ro.GlobalAlloc = global
+			ro.Verbose = false
+			if collect {
+				ro.AllocReport = func(s sim.AllocStats) {
+					pf.Alloc.Recomputes += s.Recomputes
+					pf.Alloc.ComponentsSolved += s.ComponentsSolved
+					pf.Alloc.FlowsSolved += s.FlowsSolved
+					pf.Alloc.Merges += s.Merges
+					pf.Alloc.Splits += s.Splits
+					pf.Alloc.ParkedFlows += s.ParkedFlows
+					if s.PeakComponents > pf.Alloc.PeakComponents {
+						pf.Alloc.PeakComponents = s.PeakComponents
+					}
+				}
+			}
+			// Collect garbage from previous sweeps so each measurement
+			// starts from the same heap state regardless of run order.
+			runtime.GC()
+			start := time.Now()
+			runner(ro)
+			return float64(time.Since(start).Nanoseconds()) / 1e6
+		}
+		best := func(global bool) float64 {
+			b := 0.0
+			for i := 0; i < reps; i++ {
+				// Counters are identical every rep; collect them once.
+				w := timeSweep(global, !global && i == 0)
+				if i == 0 || w < b {
+					b = w
+				}
+			}
+			return b
+		}
+		pf.IncrementalMillis = best(false)
+		say("perf %s incremental %.0f ms (best of %d)", id, pf.IncrementalMillis, reps)
+		pf.GlobalMillis = best(true)
+		say("perf %s global      %.0f ms (best of %d)", id, pf.GlobalMillis, reps)
+		if pf.IncrementalMillis > 0 {
+			pf.Speedup = pf.GlobalMillis / pf.IncrementalMillis
+		}
+		say("perf %s speedup %.2fx (peak %d components, %d merges, %d splits)",
+			id, pf.Speedup, pf.Alloc.PeakComponents, pf.Alloc.Merges, pf.Alloc.Splits)
+		rep.Figures = append(rep.Figures, pf)
+		if pf.GlobalMillis > maxGlobal {
+			maxGlobal = pf.GlobalMillis
+			rep.LargestSweep = id
+			rep.HeadlineSpeedup = pf.Speedup
+		}
+	}
+	return rep, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *PerfReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

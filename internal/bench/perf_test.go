@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunPerfReportShape(t *testing.T) {
+	rep, err := RunPerf(QuickOptions(), true, []string{"fig5a"}, 1, nil)
+	if err != nil {
+		t.Fatalf("RunPerf: %v", err)
+	}
+	if rep.Benchmark != "BENCH_PR5" || !rep.Quick {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Figures) != 1 || rep.Figures[0].Figure != "fig5a" {
+		t.Fatalf("want one fig5a entry, got %+v", rep.Figures)
+	}
+	pf := rep.Figures[0]
+	if pf.IncrementalMillis <= 0 || pf.GlobalMillis <= 0 || pf.Speedup <= 0 {
+		t.Fatalf("non-positive timings: %+v", pf)
+	}
+	if pf.Alloc.Recomputes == 0 || pf.Alloc.ComponentsSolved == 0 {
+		t.Fatalf("allocator counters not collected: %+v", pf.Alloc)
+	}
+	if rep.LargestSweep != "fig5a" || rep.HeadlineSpeedup != pf.Speedup {
+		t.Fatalf("headline not set from only sweep: %+v", rep)
+	}
+
+	path := filepath.Join(t.TempDir(), "perf.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var round PerfReport
+	if err := json.Unmarshal(raw, &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if round.LargestSweep != rep.LargestSweep {
+		t.Fatalf("round trip mismatch: %q != %q", round.LargestSweep, rep.LargestSweep)
+	}
+}
+
+func TestRunPerfUnknownFigure(t *testing.T) {
+	if _, err := RunPerf(QuickOptions(), true, []string{"figZZ"}, 1, nil); err == nil {
+		t.Fatal("want error for unknown figure id")
+	}
+}

@@ -218,18 +218,19 @@ func (h *Harness) resolve(f Fault) (*sim.Resource, bool) {
 
 // degrade cuts the resource to frac of its current capacity (floored at
 // minDegradeFrac) and, for a bounded window, schedules the restore. Both
-// edges force an allocator recompute so every in-flight flow re-shares.
+// edges force an allocator recompute, targeted at the cut resource so
+// only its connected component re-shares.
 func (h *Harness) degrade(r *sim.Resource, frac float64, dur sim.Duration) {
 	if frac < minDegradeFrac {
 		frac = minDegradeFrac
 	}
 	orig := r.Capacity
 	r.Capacity = orig * frac
-	h.e.RecomputeFlows()
+	h.e.RecomputeResources(r)
 	if dur > 0 {
 		h.e.After(dur, func() {
 			r.Capacity = orig
-			h.e.RecomputeFlows()
+			h.e.RecomputeResources(r)
 			h.tr.Instant(h.e.Now(), string(trace.CatChaos), "restore:"+r.Name)
 		})
 	}

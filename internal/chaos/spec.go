@@ -292,6 +292,11 @@ func parseDegrade(val string, hasVal bool) (Fault, error) {
 		return Fault{}, fmt.Errorf("chaos: bad degrade target %q (want nic:I:F, ost:I:F, bb:I:F, or fabric:F)", head)
 	}
 	frac, err := strconv.ParseFloat(parts[len(parts)-1], 64)
+	if err == nil && frac == 0 {
+		// A fraction of 0 is an outage, and degrade would silently clamp
+		// it to minDegradeFrac; make the user say what they mean.
+		return Fault{}, fmt.Errorf("chaos: degrade fraction 0 requests an outage, which degrade would silently clamp; use the %s fault kind (%s@T[+D]) instead", KindBBOutage, KindBBOutage)
+	}
 	if err != nil || frac <= 0 || frac > 1 {
 		return Fault{}, fmt.Errorf("chaos: degrade fraction %q outside (0, 1]", parts[len(parts)-1])
 	}

@@ -100,6 +100,21 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// A degrade fraction of 0 is an outage request; the parser must refuse
+// it (degrade would silently clamp to minDegradeFrac) and point the user
+// at the bboutage fault kind instead.
+func TestParseDegradeZeroPointsAtOutage(t *testing.T) {
+	for _, s := range []string{"degrade=nic:0:0@1", "degrade=fabric:0@2", "degrade=bb:1:0.0@3+1"} {
+		_, err := Parse(s)
+		if err == nil {
+			t.Fatalf("Parse(%q) accepted a zero degrade fraction", s)
+		}
+		if !strings.Contains(err.Error(), KindBBOutage) {
+			t.Errorf("Parse(%q) error %q does not mention the %s fault kind", s, err, KindBBOutage)
+		}
+	}
+}
+
 func TestFaultStringCanonical(t *testing.T) {
 	cases := map[string]Fault{
 		"crash=1@2.5":             {Kind: KindCrash, Index: 1, At: 2.5},

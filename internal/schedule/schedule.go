@@ -98,6 +98,8 @@ type Scheduler struct {
 	policy  Policy
 
 	nodes []*nodeState
+
+	changedPorts []*sim.Resource // refreshNode scratch
 }
 
 type nodeState struct {
@@ -346,7 +348,10 @@ func (s *Scheduler) EndFlush(nodeID int, serverProgram string) {
 }
 
 // refreshNode recomputes every process's effective core share on the node
-// and propagates the change into any in-flight transfers.
+// and propagates the change into any in-flight transfers. Only the mem
+// ports whose capacity actually changed are handed to the allocator, so
+// with the incremental allocator a refresh re-solves just the components
+// crossing this node (and is a cheap reschedule when nothing changed).
 func (s *Scheduler) refreshNode(nodeID int) {
 	ns := s.nodes[nodeID]
 	// Count runnable processes per core.
@@ -358,15 +363,20 @@ func (s *Scheduler) refreshNode(nodeID int) {
 	}
 	peak := s.cluster.Cfg.CorePeakBW
 	eff := s.cluster.Cfg.CtxSwitchEff
+	changed := s.changedPorts[:0]
 	for _, h := range ns.procs {
 		n := runnable[h.core]
 		if n < 1 {
 			n = 1
 		}
 		share := peak / float64(n) * math.Pow(eff, float64(n-1))
-		h.MemPort.Capacity = share
+		if h.MemPort.Capacity != share {
+			h.MemPort.Capacity = share
+			changed = append(changed, h.MemPort)
+		}
 	}
-	s.cluster.E.RecomputeFlows()
+	s.changedPorts = changed[:0]
+	s.cluster.E.RecomputeResources(changed...)
 }
 
 // NodeProcs returns the handles placed on a node, in placement order.

@@ -1,0 +1,575 @@
+// Max-min fair (water-filling) rate allocation. The solver here is the
+// component-local core: components.go decides *which* flows to re-solve
+// (the dirty connected components), this file computes their rates.
+//
+// Per-component solving is bitwise-identical to the historical global
+// solver: every arithmetic operand (remaining capacities, crossing counts,
+// fair shares) is local to one component, and flows are always iterated in
+// insertion (flow.seq) order, so the sequence of heap operations a
+// component sees is exactly the subsequence the global solve would have
+// performed for it. The differential mode re-runs the global solver after
+// every incremental batch and asserts the rates match bitwise.
+
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// AllocMode selects the allocator strategy for an Engine.
+type AllocMode int
+
+const (
+	// AllocIncremental (the default) partitions active flows into
+	// connected components and re-solves only dirty components on flow
+	// transitions and capacity changes.
+	AllocIncremental AllocMode = iota
+	// AllocGlobal keeps every flow in a single component, so each
+	// transition re-solves the full active set — the historical solver,
+	// kept as the reference baseline for the differential mode, property
+	// tests, and perf comparisons.
+	AllocGlobal
+)
+
+func (m AllocMode) String() string {
+	if m == AllocGlobal {
+		return "global"
+	}
+	return "incremental"
+}
+
+// AllocStats are cumulative allocator counters, exposed for benchmarks,
+// tracing, and tests.
+type AllocStats struct {
+	// Recomputes counts dirty-batch solves (deferred same-instant batches
+	// plus explicit RecomputeFlows/RecomputeResources calls that had work).
+	Recomputes int64 `json:"recompute_batches"`
+	// ComponentsSolved counts individual component water-filling solves.
+	ComponentsSolved int64 `json:"components_solved"`
+	// FlowsSolved totals the flows visited across all component solves —
+	// the incremental analogue of the old recompute-work counter.
+	FlowsSolved int64 `json:"flows_solved"`
+	// Merges counts component unions caused by a new flow bridging them.
+	Merges int64 `json:"merges"`
+	// Splits counts lazy partition rebuilds that produced >1 component.
+	Splits int64 `json:"splits"`
+	// ParkedFlows counts solve visits that found a flow crossing a
+	// zero-capacity resource and held its rate at 0.
+	ParkedFlows int64 `json:"parked_flows"`
+	// PeakComponents is the high-water mark of live components.
+	PeakComponents int `json:"peak_components"`
+	// DiffChecks counts differential-mode verifications that passed.
+	DiffChecks int64 `json:"diff_checks,omitempty"`
+}
+
+// AllocTracer is an optional extension of Tracer: implementations also
+// receive a sample of the allocator counters after every dirty-batch
+// solve. The engine detects it by type assertion, so existing Tracer
+// implementations are unaffected.
+type AllocTracer interface {
+	Tracer
+	// AllocSample reports the cumulative allocator counters and the
+	// number of live components after a batch solve.
+	AllocSample(t Time, s AllocStats, liveComponents int)
+}
+
+// SetAllocMode selects the allocator strategy. It must be called before
+// any flow starts; switching modes with flows in flight would leave the
+// component partition inconsistent.
+func (e *Engine) SetAllocMode(m AllocMode) {
+	if len(e.flows.active) > 0 || len(e.flows.comps) > 0 {
+		panic("sim: SetAllocMode called with flows in flight")
+	}
+	e.flows.mode = m
+}
+
+// SetDifferentialCheck toggles the allocator self-check: after every
+// incremental batch solve, the global reference solver is run over the
+// whole active set and every flow's rate is asserted bitwise-identical.
+// This is the correctness oracle for the incremental allocator; it makes
+// every recompute O(total flows) again, so it is for tests and debugging,
+// not production runs. Also enabled by the UNIVISTOR_SIM_DIFFCHECK
+// environment variable.
+func (e *Engine) SetDifferentialCheck(on bool) { e.flows.diffCheck = on }
+
+// AllocStats returns a snapshot of the cumulative allocator counters.
+func (e *Engine) AllocStats() AllocStats { return e.flows.stats }
+
+// ActiveComponents returns the number of live connected components in the
+// flow partition.
+func (e *Engine) ActiveComponents() int { return len(e.flows.comps) }
+
+// debugRecompute enables allocator diagnostics on stderr (never stdout:
+// cmd/univistor-sim encodes its JSON result to stdout, and diagnostics
+// interleaved there corrupt it). Set via UNIVISTOR_SIM_DEBUG; a positive
+// integer value is the print cadence in batches, any other non-empty
+// value uses the default of 500.
+var debugRecompute, debugEvery = recomputeDebugConfig(os.Getenv("UNIVISTOR_SIM_DEBUG"))
+
+func recomputeDebugConfig(v string) (bool, int64) {
+	if v == "" {
+		return false, 0
+	}
+	if n, err := strconv.Atoi(v); err == nil && n > 0 {
+		return true, int64(n)
+	}
+	return true, 500
+}
+
+// SetRecomputeDebug overrides the UNIVISTOR_SIM_DEBUG configuration:
+// every n dirty-batch solves a summary line is printed to stderr; n <= 0
+// disables the diagnostics. It affects all engines in the process.
+func SetRecomputeDebug(every int) {
+	debugRecompute = every > 0
+	debugEvery = int64(every)
+}
+
+func (fs *flowSet) debugBatch() {
+	if fs.stats.Recomputes%debugEvery != 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[sim] recompute #%d t=%.4f active=%d comps=%d solved=%d merges=%d splits=%d parked=%d\n",
+		fs.stats.Recomputes, float64(fs.e.now), len(fs.active), len(fs.comps),
+		fs.stats.FlowsSolved, fs.stats.Merges, fs.stats.Splits, fs.stats.ParkedFlows)
+}
+
+// shareEntry is a lazy-heap entry for the water-filling allocator.
+type shareEntry struct {
+	share float64
+	res   *Resource
+	ver   int
+}
+
+type shareHeap []shareEntry
+
+func (h shareHeap) Len() int { return len(h) }
+func (h shareHeap) Less(i, j int) bool {
+	if h[i].share != h[j].share {
+		return h[i].share < h[j].share
+	}
+	return h[i].res.id < h[j].res.id
+}
+func (h shareHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *shareHeap) Push(x any)   { *h = append(*h, x.(shareEntry)) }
+func (h *shareHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// resState is the per-resource working state of one allocation round. The
+// structs are reused across rounds (gen-stamped) to keep the allocator
+// allocation-free in steady state. The fast path reaches them through
+// Resource.state; the reference path keeps its own map so the two
+// implementations stay independent.
+type resState struct {
+	remCap float64
+	remCnt int
+	ver    int
+	flows  []*flow
+	gen    int64
+	// Lazy-rebuild (split) scratch: the component-local flow index that
+	// first touched this resource, stamped per split attempt.
+	splitGen int64
+	splitIdx int32
+	// heapPos is the resource's slot in the fast path's indexed share
+	// heap, or -1 when not enqueued.
+	heapPos int32
+}
+
+// stateOf returns the solve state the most recent live solve stored for
+// r, according to the active mode's storage.
+func (fs *flowSet) stateOf(r *Resource) *resState {
+	if fs.mode == AllocGlobal {
+		return fs.scratch[r]
+	}
+	return r.state
+}
+
+// setRate/getRate route the solver's output: the live solve writes
+// flow.rate, the differential reference solve writes flow.refRate.
+func setRate(f *flow, rate float64, ref bool) {
+	if ref {
+		f.refRate = rate
+	} else {
+		f.rate = rate
+	}
+}
+
+func getRate(f *flow, ref bool) float64 {
+	if ref {
+		return f.refRate
+	}
+	return f.rate
+}
+
+// allocateRef is the reference max-min fair (water-filling) solver — the
+// historical global implementation, kept verbatim (map-keyed resource
+// states, container/heap). It serves two roles: the live solver in
+// AllocGlobal mode (the baseline the perf mode compares against) and the
+// independent oracle of the differential check. Flows must be in
+// ascending flow.seq order. Bottleneck selection uses a lazy min-heap of
+// fair shares, so a solve costs O(E log R) in the total flow-resource
+// degree E of the set. Flows crossing a zero-capacity resource are parked
+// at rate 0 and excluded from the water-fill (their resources still count
+// as touched, keeping component connectivity).
+//
+// With ref=false the computed rates land in flow.rate and resource flow
+// counts are refreshed; with ref=true (the differential check) rates land
+// in flow.refRate and no engine state is disturbed. It returns the
+// resources touched, valid until the next solve.
+func (fs *flowSet) allocateRef(flows []*flow, ref bool) []*Resource {
+	if fs.scratch == nil {
+		fs.scratch = make(map[*Resource]*resState, 64)
+	}
+	fs.solveGen++
+	gen := fs.solveGen
+	states := fs.scratch
+	touched := fs.touched[:0]
+	ensure := func(r *Resource) *resState {
+		st := states[r]
+		if st == nil {
+			st = &resState{}
+			states[r] = st
+		}
+		if st.gen != gen {
+			st.gen = gen
+			st.remCap = r.Capacity
+			st.remCnt = 0
+			st.ver = 0
+			st.flows = st.flows[:0]
+			touched = append(touched, r)
+		}
+		return st
+	}
+	unassigned := 0
+	for _, f := range flows {
+		parked := false
+		for _, r := range f.resources {
+			if r.Capacity <= 0 {
+				parked = true
+				break
+			}
+		}
+		if parked {
+			// Hold the flow at rate 0 until a recompute sees capacity
+			// restored; its resources stay touched so the component keeps
+			// owning them (and their alloc caches read 0, not stale).
+			setRate(f, 0, ref)
+			if !ref {
+				f.parked = true
+				fs.stats.ParkedFlows++
+			}
+			for _, r := range f.resources {
+				ensure(r)
+			}
+			continue
+		}
+		if !ref {
+			f.parked = false
+		}
+		setRate(f, -1, ref) // unassigned
+		unassigned++
+		for _, r := range f.resources {
+			st := ensure(r)
+			st.remCnt++
+			st.flows = append(st.flows, f)
+		}
+	}
+	fs.touched = touched
+	h := fs.heapBuf[:0]
+	for _, r := range touched {
+		st := states[r]
+		if !ref {
+			r.nflows = st.remCnt
+		}
+		if st.remCnt > 0 {
+			h = append(h, shareEntry{share: st.remCap / float64(st.remCnt), res: r, ver: 0})
+		}
+	}
+	heap.Init(&h)
+	defer func() { fs.heapBuf = h[:0] }()
+	for unassigned > 0 && h.Len() > 0 {
+		e := heap.Pop(&h).(shareEntry)
+		st := states[e.res]
+		if e.ver != st.ver || st.remCnt == 0 {
+			continue // stale entry
+		}
+		// Floor the share so rounding in earlier rounds can never produce a
+		// zero rate, which would stall a flow forever.
+		share := e.share
+		if min := e.res.Capacity * 1e-12; share < min {
+			share = min
+		}
+		// Freeze every unassigned flow crossing the bottleneck, charging its
+		// rate to its other resources and refreshing their heap entries.
+		for _, f := range st.flows {
+			if getRate(f, ref) >= 0 {
+				continue
+			}
+			setRate(f, share, ref)
+			unassigned--
+			for _, r := range f.resources {
+				ost := states[r]
+				ost.remCap -= share
+				if ost.remCap < 0 {
+					ost.remCap = 0
+				}
+				ost.remCnt--
+				ost.ver++
+				if r != e.res && ost.remCnt > 0 {
+					heap.Push(&h, shareEntry{share: ost.remCap / float64(ost.remCnt), res: r, ver: ost.ver})
+				}
+			}
+		}
+	}
+	return touched
+}
+
+// cacheRates stores the post-solve allocated rate of every touched
+// resource on the resource itself (the cache Utilization reads). A flow
+// whose path crosses the same resource several times appears consecutively
+// in the state's flow list and is counted once. With a tracer attached,
+// the same values are reported as ResourceSamples, so Utilization and the
+// recorded timeline always agree.
+func (fs *flowSet) cacheRates(touched []*Resource) {
+	e := fs.e
+	for _, r := range touched {
+		used := 0.0
+		var prev *flow
+		for _, f := range fs.stateOf(r).flows {
+			if f == prev {
+				continue // repeat crossing of the same flow
+			}
+			prev = f
+			if f.rate > 0 {
+				used += f.rate
+			}
+		}
+		r.alloc = used
+		if e.tracer != nil {
+			e.tracer.ResourceSample(e.now, r, used)
+		}
+	}
+}
+
+// fastEntry is one slot of the fast path's indexed share heap. The
+// resource id is copied inline so tie-breaks never chase the resource
+// pointer, and the state pointer lets swaps maintain heapPos directly.
+type fastEntry struct {
+	share float64
+	id    int64
+	res   *Resource
+	st    *resState
+}
+
+// fastHeap is the fast path's share min-heap: the same (share, resource
+// id) comparator as shareHeap, but *indexed* — each resource holds at
+// most one entry whose key is updated in place (resState.heapPos), so
+// the heap stays bounded by the live resource count instead of
+// accumulating one lazy entry per water-fill step. The reference
+// solver's lazy heap skips every stale entry it pops, so the first
+// valid entry it acts on is the minimum over current shares — exactly
+// what this heap pops — and the share value both read is computed from
+// the same remCap/remCnt operands, keeping results bitwise identical.
+type fastHeap []fastEntry
+
+func (h fastHeap) less(i, j int) bool {
+	if h[i].share != h[j].share {
+		return h[i].share < h[j].share
+	}
+	return h[i].id < h[j].id
+}
+
+func (h fastHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].st.heapPos = int32(i)
+	h[j].st.heapPos = int32(j)
+}
+
+func (h fastHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h fastHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h fastHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *fastHeap) pop() fastEntry {
+	hh := *h
+	top := hh[0]
+	top.st.heapPos = -1
+	n := len(hh) - 1
+	if n > 0 {
+		hh[0] = hh[n]
+		hh[0].st.heapPos = 0
+	}
+	*h = hh[:n]
+	if n > 1 {
+		(*h).down(0)
+	}
+	return top
+}
+
+// update re-keys the entry at position i and restores heap order (at
+// most one of up/down moves it).
+func (h fastHeap) update(i int, share float64) {
+	h[i].share = share
+	h.up(i)
+	h.down(i)
+}
+
+// allocateFast is the incremental mode's solver: identical arithmetic and
+// bottleneck ordering to allocateRef, but the per-resource solve state is
+// reached through Resource.state instead of a map, and the share heap is
+// monomorphic — together removing hashing and per-push boxing from the
+// hot loop. The differential mode cross-checks its output against
+// allocateRef bitwise.
+func (fs *flowSet) allocateFast(flows []*flow) []*Resource {
+	fs.solveGen++
+	gen := fs.solveGen
+	touched := fs.touched[:0]
+	ensure := func(r *Resource) *resState {
+		st := r.state
+		if st == nil {
+			st = &resState{}
+			r.state = st
+		}
+		if st.gen != gen {
+			st.gen = gen
+			st.remCap = r.Capacity
+			st.remCnt = 0
+			st.heapPos = -1
+			st.flows = st.flows[:0]
+			touched = append(touched, r)
+		}
+		return st
+	}
+	unassigned := 0
+	for _, f := range flows {
+		parked := false
+		for _, r := range f.resources {
+			if r.Capacity <= 0 {
+				parked = true
+				break
+			}
+		}
+		if parked {
+			f.rate = 0
+			f.parked = true
+			fs.stats.ParkedFlows++
+			for _, r := range f.resources {
+				ensure(r)
+			}
+			continue
+		}
+		f.parked = false
+		f.rate = -1 // unassigned
+		unassigned++
+		for _, r := range f.resources {
+			st := ensure(r)
+			st.remCnt++
+			st.flows = append(st.flows, f)
+		}
+	}
+	fs.touched = touched
+	h := fs.fastHeapBuf[:0]
+	for _, r := range touched {
+		st := r.state
+		r.nflows = st.remCnt
+		if st.remCnt > 0 {
+			st.heapPos = int32(len(h))
+			h = append(h, fastEntry{share: st.remCap / float64(st.remCnt), id: r.id, res: r, st: st})
+		}
+	}
+	h.init()
+	defer func() { fs.fastHeapBuf = h[:0] }()
+	for unassigned > 0 && len(h) > 0 {
+		e := h.pop()
+		st := e.st
+		if st.remCnt == 0 {
+			continue // drained by an earlier bottleneck's freezes
+		}
+		share := e.share
+		if min := e.res.Capacity * 1e-12; share < min {
+			share = min
+		}
+		for _, f := range st.flows {
+			if f.rate >= 0 {
+				continue
+			}
+			f.rate = share
+			unassigned--
+			for _, r := range f.resources {
+				ost := r.state
+				ost.remCap -= share
+				if ost.remCap < 0 {
+					ost.remCap = 0
+				}
+				ost.remCnt--
+				if ost.heapPos >= 0 && ost.remCnt > 0 {
+					h.update(int(ost.heapPos), ost.remCap/float64(ost.remCnt))
+				}
+			}
+		}
+	}
+	return touched
+}
+
+// verifyIncremental is the differential mode: after an incremental batch
+// it re-solves the entire active set with the global reference solver
+// (into flow.refRate) and asserts every rate is bitwise-identical to the
+// incremental result. A mismatch is a bug in the partition maintenance;
+// it panics with the diverging flow.
+func (fs *flowSet) verifyIncremental() {
+	if len(fs.active) == 0 {
+		fs.stats.DiffChecks++
+		return
+	}
+	fs.allocateRef(fs.active, true)
+	for _, f := range fs.active {
+		if f.refRate != f.rate {
+			names := make([]string, 0, len(f.resources))
+			for _, r := range f.resources {
+				names = append(names, r.Name)
+			}
+			panic(fmt.Sprintf(
+				"sim: differential allocator check failed at t=%v: flow seq=%d remaining=%g path=%v: incremental rate %v != global reference %v",
+				float64(fs.e.now), f.seq, f.remaining, names, f.rate, f.refRate))
+		}
+	}
+	fs.stats.DiffChecks++
+}

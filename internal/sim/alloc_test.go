@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+)
+
+// A resource degraded to zero capacity must park its flows (rate 0, no
+// progress, no stall-forever busy loop) and resume them when a recompute
+// sees the capacity restored; Utilization must report 0, not NaN.
+func TestDegradeToZeroParksAndResumes(t *testing.T) {
+	e := NewEngine()
+	nic := NewResource("nic", 100)
+	disk := NewResource("disk", 100)
+	var done Time
+	e.Go("w", func(p *Proc) {
+		p.Transfer(1000, nic, disk) // alone: 10s at 100 B/s
+		done = p.Now()
+	})
+	e.At(2, func() { // 200 B transferred, 800 B left
+		disk.Capacity = 0
+		e.RecomputeResources(disk)
+	})
+	e.At(5, func() {
+		if u := disk.Utilization(e); u != 0 || math.IsNaN(u) {
+			t.Errorf("Utilization of zero-capacity resource = %v, want 0", u)
+		}
+		if n := e.ActiveFlows(); n != 1 {
+			t.Errorf("parked flow vanished: ActiveFlows = %d", n)
+		}
+		if s := e.AllocStats(); s.ParkedFlows == 0 {
+			t.Error("AllocStats.ParkedFlows = 0, want > 0")
+		}
+	})
+	e.At(10, func() { // parked for 8s, then full speed again
+		disk.Capacity = 100
+		e.RecomputeResources(disk)
+	})
+	e.Run()
+	if done == 0 {
+		t.Fatal("flow never completed after capacity restore")
+	}
+	// 2s of transfer before the outage + 8s parked + 8s for the rest.
+	if want := Time(18); math.Abs(float64(done-want)) > 1e-6 {
+		t.Errorf("completion at t=%v, want %v", done, want)
+	}
+	if u := disk.Utilization(e); u != 0 {
+		t.Errorf("idle Utilization = %v, want 0", u)
+	}
+}
+
+// A flow started while its path already crosses a zero-capacity resource
+// must park immediately instead of dividing by zero, and run once the
+// capacity comes back.
+func TestStartAcrossZeroCapacityResource(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("link", 50)
+	r.Capacity = 0
+	var done Time
+	e.Go("w", func(p *Proc) {
+		p.Transfer(100, r)
+		done = p.Now()
+	})
+	e.At(4, func() {
+		r.Capacity = 50
+		e.RecomputeResources(r)
+	})
+	e.Run()
+	if want := Time(6); math.Abs(float64(done-want)) > 1e-6 {
+		t.Errorf("completion at t=%v, want %v", done, want)
+	}
+}
+
+// scenario is one randomized workload for the equivalence property test:
+// a shared pool of resources, flows with overlapping random paths and
+// staggered starts, and capacity-change events including full outages.
+type scenario struct {
+	caps   []float64
+	flows  []scenFlow
+	events []scenEvent
+}
+
+type scenFlow struct {
+	start Time
+	size  float64
+	path  []int // resource indices, may repeat across flows
+}
+
+type scenEvent struct {
+	at   Time
+	res  int
+	frac float64 // 0 = outage; new capacity = original * frac
+}
+
+func randomScenario(r *rand.Rand) scenario {
+	var sc scenario
+	nres := 2 + r.Intn(12)
+	for i := 0; i < nres; i++ {
+		sc.caps = append(sc.caps, 10+990*r.Float64())
+	}
+	nflows := 2 + r.Intn(199)
+	for i := 0; i < nflows; i++ {
+		plen := 1 + r.Intn(4)
+		path := make([]int, plen)
+		for j := range path {
+			path[j] = r.Intn(nres)
+		}
+		sc.flows = append(sc.flows, scenFlow{
+			start: Time(r.Float64() * 20),
+			size:  1 + 5000*r.Float64(),
+			path:  path,
+		})
+	}
+	for i := 0; i < r.Intn(6); i++ {
+		frac := 0.0
+		if r.Intn(2) == 0 {
+			frac = 0.05 + 0.9*r.Float64()
+		}
+		sc.events = append(sc.events, scenEvent{
+			at:   Time(r.Float64() * 30),
+			res:  r.Intn(nres),
+			frac: frac,
+		})
+	}
+	return sc
+}
+
+// run executes the scenario under the given allocator mode and returns
+// each flow's completion time (exactly as computed) plus the final clock.
+func (sc scenario) run(t *testing.T, mode AllocMode, diff bool) ([]Time, Time) {
+	t.Helper()
+	e := NewEngine()
+	e.SetAllocMode(mode)
+	e.SetDifferentialCheck(diff)
+	rs := make([]*Resource, len(sc.caps))
+	for i, c := range sc.caps {
+		rs[i] = NewResource("r", c)
+	}
+	completed := make([]Time, len(sc.flows))
+	for i := range completed {
+		completed[i] = -1
+	}
+	for i, f := range sc.flows {
+		i, f := i, f
+		e.At(f.start, func() {
+			path := make([]*Resource, len(f.path))
+			for j, ri := range f.path {
+				path[j] = rs[ri]
+			}
+			e.StartTransfer(f.size, func() { completed[i] = e.Now() }, path...)
+		})
+	}
+	for _, ev := range sc.events {
+		ev := ev
+		e.At(ev.at, func() {
+			rs[ev.res].Capacity = sc.caps[ev.res] * ev.frac
+			e.RecomputeResources(rs[ev.res])
+		})
+	}
+	// Lift every outage late so parked flows finish and the runs compare
+	// complete executions.
+	e.At(1000, func() {
+		for i, r := range rs {
+			r.Capacity = sc.caps[i]
+		}
+		e.RecomputeResources(rs...)
+	})
+	end := e.Run()
+	return completed, end
+}
+
+// The incremental component-based allocator must be observationally
+// identical to the global reference solver: same completion time for
+// every flow (exact float equality) on randomized overlapping topologies
+// with capacity changes and outages.
+func TestAllocEquivalenceRandomized(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		sc := randomScenario(r)
+		inc, incEnd := sc.run(t, AllocIncremental, trial%5 == 0)
+		glob, globEnd := sc.run(t, AllocGlobal, false)
+		if incEnd != globEnd {
+			t.Fatalf("trial %d: final clock %v (incremental) != %v (global)", trial, incEnd, globEnd)
+		}
+		for i := range inc {
+			if inc[i] == -1 || glob[i] == -1 {
+				t.Fatalf("trial %d: flow %d never completed (incremental=%v global=%v)", trial, i, inc[i], glob[i])
+			}
+			if inc[i] != glob[i] {
+				t.Fatalf("trial %d: flow %d completion %v (incremental) != %v (global)",
+					trial, i, float64(inc[i]), float64(glob[i]))
+			}
+		}
+	}
+}
+
+// The differential mode must actually run: every dirty batch cross-checks
+// the incremental rates against the reference solver.
+func TestDifferentialCheckCountsBatches(t *testing.T) {
+	e := NewEngine()
+	e.SetDifferentialCheck(true)
+	r1 := NewResource("a", 100)
+	r2 := NewResource("b", 100)
+	e.Go("w1", func(p *Proc) { p.Transfer(300, r1) })
+	e.Go("w2", func(p *Proc) { p.Transfer(300, r1, r2) })
+	e.Go("w3", func(p *Proc) { p.Transfer(300, r2) })
+	e.Run()
+	s := e.AllocStats()
+	if s.DiffChecks == 0 {
+		t.Fatal("differential mode enabled but DiffChecks = 0")
+	}
+	if s.Recomputes == 0 || s.ComponentsSolved == 0 {
+		t.Fatalf("allocator counters empty: %+v", s)
+	}
+}
+
+// Recompute diagnostics must go to stderr, never stdout — stdout carries
+// machine-readable output (cmd/univistor-sim encodes JSON there).
+func TestRecomputeDebugGoesToStderr(t *testing.T) {
+	SetRecomputeDebug(1)
+	defer SetRecomputeDebug(0)
+
+	oldOut, oldErr := os.Stdout, os.Stderr
+	outR, outW, _ := os.Pipe()
+	errR, errW, _ := os.Pipe()
+	os.Stdout, os.Stderr = outW, errW
+
+	e := NewEngine()
+	r := NewResource("disk", 100)
+	e.Go("w1", func(p *Proc) { p.Transfer(200, r) })
+	e.Go("w2", func(p *Proc) { p.Transfer(400, r) })
+	e.Run()
+
+	outW.Close()
+	errW.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	var stdout, stderr bytes.Buffer
+	io.Copy(&stdout, outR)
+	io.Copy(&stderr, errR)
+
+	if stdout.Len() != 0 {
+		t.Errorf("recompute diagnostics leaked to stdout: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "[sim] recompute #") {
+		t.Errorf("stderr missing recompute diagnostics, got: %q", stderr.String())
+	}
+}

@@ -1,0 +1,496 @@
+// Connected-component partition of the active flow set. Two flows are
+// connected when they share a Resource (directly or transitively); under
+// max-min water-filling, a flow transition or capacity change in one
+// component cannot change any rate in a disjoint component, so only dirty
+// components are re-solved. The partition is maintained incrementally:
+// components are unioned when a new flow bridges them, and rebuilt lazily
+// (union-find over the component's flows) after completions may have
+// disconnected it.
+//
+// Completion events stay global: one event at the earliest completion
+// across all components, rescheduled after every batch from an O(active)
+// scan. Per-component completion events were considered and rejected —
+// each component's event time would be an FP rearrangement of the global
+// solver's (slack bases and reschedule instants differ), breaking bitwise
+// output compatibility. The scan is two flops per flow; the water-fill
+// solve it used to accompany is the cost the partition eliminates.
+
+package sim
+
+import "math"
+
+// component is one connected set of active flows and the resources they
+// cross.
+type component struct {
+	id int64
+	// flows is the component's active flow list in ascending flow.seq
+	// order — the same relative order the global solver would visit them,
+	// which keeps per-component solving bitwise-identical to it.
+	flows []*flow
+	// resources currently owned by this component (r.comp == c); rebuilt
+	// from the touched set on every solve.
+	resources []*Resource
+	dirty bool // queued in flowSet.dirtyComps
+	// needSplit marks that flows finished since the last solve, so the
+	// component may have disconnected and should be re-partitioned.
+	// Splitting is pure optimization — water-filling a disconnected
+	// component jointly produces bitwise-identical rates to solving its
+	// parts (their resource states never interact) — so the rebuild is
+	// deferred until the component has halved since the last check
+	// (splitCheckAt) rather than paying union-find on every completion.
+	needSplit bool
+	// splitCheckAt is the flow-count high-water mark since the last
+	// partition check; a rebuild is attempted when the component shrinks
+	// to half of it.
+	splitCheckAt int
+	dead         bool // merged away or drained; skip everywhere
+	visit        bool // add()/completeAll dedup scratch
+}
+
+// add inserts a started flow into the active set and the partition:
+// the components reachable through the flow's resources are unioned (the
+// flow may bridge several), unowned resources are claimed, and the target
+// component is queued for a same-instant batch solve.
+func (fs *flowSet) add(f *flow) {
+	fs.flowSeq++
+	f.seq = fs.flowSeq
+	fs.active = append(fs.active, f)
+
+	found := fs.compScratch[:0]
+	if fs.mode == AllocGlobal {
+		// Global mode: everything lives in one component.
+		for _, c := range fs.comps {
+			found = append(found, c)
+		}
+	} else {
+		for _, r := range f.resources {
+			if c := r.comp; c != nil && !c.visit {
+				c.visit = true
+				found = append(found, c)
+			}
+		}
+		for _, c := range found {
+			c.visit = false
+		}
+	}
+	var target *component
+	switch len(found) {
+	case 0:
+		fs.compSeq++
+		target = &component{id: fs.compSeq}
+		fs.comps = append(fs.comps, target)
+	case 1:
+		target = found[0]
+	default:
+		target = fs.merge(found)
+	}
+	fs.compScratch = found[:0]
+	target.flows = append(target.flows, f) // f.seq is the maximum: stays sorted
+	if n := len(target.flows); n > target.splitCheckAt {
+		target.splitCheckAt = n
+	}
+	f.comp = target
+	for _, r := range f.resources {
+		if r.comp == nil {
+			r.comp = target
+			target.resources = append(target.resources, r)
+		}
+	}
+	fs.markCompDirty(target)
+}
+
+// merge unions the given components into the one with the most flows
+// (ties to the lowest id), in O(total flows) via sorted-list merges.
+func (fs *flowSet) merge(cs []*component) *component {
+	target := cs[0]
+	for _, c := range cs[1:] {
+		if len(c.flows) > len(target.flows) ||
+			(len(c.flows) == len(target.flows) && c.id < target.id) {
+			target = c
+		}
+	}
+	for _, c := range cs {
+		if c == target {
+			continue
+		}
+		fs.stats.Merges++
+		target.flows = mergeBySeq(target.flows, c.flows)
+		for _, f := range c.flows {
+			f.comp = target
+		}
+		for _, r := range c.resources {
+			if r.comp == c {
+				r.comp = target
+				target.resources = append(target.resources, r)
+			}
+		}
+		target.needSplit = target.needSplit || c.needSplit
+		c.dead = true
+		c.dirty = false
+	}
+	if n := len(target.flows); n > target.splitCheckAt {
+		target.splitCheckAt = n
+	}
+	fs.removeDead()
+	return target
+}
+
+// mergeBySeq merges two flow lists each in ascending seq order. The first
+// list's backing array is reused when the merge is a pure append.
+func mergeBySeq(a, b []*flow) []*flow {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 || a[len(a)-1].seq < b[0].seq {
+		return append(a, b...)
+	}
+	if b[len(b)-1].seq < a[0].seq {
+		out := make([]*flow, 0, len(a)+len(b))
+		out = append(out, b...)
+		return append(out, a...)
+	}
+	out := make([]*flow, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].seq < b[j].seq {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// removeDead filters dead components out of the live list, preserving
+// creation order.
+func (fs *flowSet) removeDead() {
+	kept := fs.comps[:0]
+	for _, c := range fs.comps {
+		if !c.dead {
+			kept = append(kept, c)
+		}
+	}
+	fs.comps = kept
+}
+
+// queueDirty marks c for the next batch solve without scheduling the
+// deferred event (RecomputeFlows/RecomputeResources solve synchronously).
+func (fs *flowSet) queueDirty(c *component) {
+	if c.dirty || c.dead {
+		return
+	}
+	c.dirty = true
+	fs.dirtyComps = append(fs.dirtyComps, c)
+}
+
+// markCompDirty queues c and schedules one deferred batch solve for the
+// current instant — coalescing the work when thousands of flows start or
+// finish together.
+func (fs *flowSet) markCompDirty(c *component) {
+	fs.queueDirty(c)
+	if fs.dirty {
+		return
+	}
+	fs.dirty = true
+	fs.e.At(fs.e.now, func() {
+		if fs.dirty {
+			fs.runPending()
+		}
+	})
+}
+
+// processDirty solves every queued dirty component: splitting ones whose
+// completions may have disconnected them, water-filling each, and pruning
+// resource ownership. Runs the differential check and tracer sample once
+// per batch. The caller (runPending) reschedules the global completion
+// event afterwards.
+func (fs *flowSet) processDirty() {
+	if len(fs.dirtyComps) == 0 {
+		return
+	}
+	fs.stats.Recomputes++
+	for i := 0; i < len(fs.dirtyComps); i++ {
+		c := fs.dirtyComps[i]
+		if c.dead || !c.dirty {
+			continue
+		}
+		c.dirty = false
+		if c.needSplit && fs.mode != AllocGlobal {
+			if len(c.flows) <= 1 {
+				c.needSplit = false
+			} else if len(c.flows)*2 <= c.splitCheckAt {
+				c.needSplit = false
+				parts, oldRes := fs.split(c)
+				for _, part := range parts {
+					fs.solveComponent(part)
+				}
+				// Resources no part claimed belonged only to finished flows.
+				for _, r := range oldRes {
+					if r.comp == nil {
+						fs.closeResource(r)
+					}
+				}
+				continue
+			}
+			// Deferred: solve jointly (bitwise-identical) and re-check
+			// once the component has halved.
+		}
+		fs.solveComponent(c)
+	}
+	fs.dirtyComps = fs.dirtyComps[:0]
+	if n := len(fs.comps); n > fs.stats.PeakComponents {
+		fs.stats.PeakComponents = n
+	}
+	if fs.diffCheck {
+		fs.verifyIncremental()
+	}
+	if debugRecompute {
+		fs.debugBatch()
+	}
+	if fs.e.tracer != nil {
+		if at, ok := fs.e.tracer.(AllocTracer); ok {
+			at.AllocSample(fs.e.now, fs.stats, len(fs.comps))
+		}
+	}
+}
+
+// split re-partitions c after completions: union-find over its remaining
+// flows, keyed by shared resources. When the flows are still one
+// component, c is kept as-is (the subsequent solve prunes stale
+// resources). Otherwise c dies and its parts become fresh components; the
+// caller must solve every part and close resources left unclaimed. Runs
+// in O(E α(F)) for component degree E.
+func (fs *flowSet) split(c *component) (parts []*component, oldRes []*Resource) {
+	n := len(c.flows)
+	parent := fs.ufParent[:0]
+	for i := 0; i < n; i++ {
+		parent = append(parent, int32(i))
+	}
+	fs.ufParent = parent
+	find := func(i int32) int32 {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]] // path halving
+			i = parent[i]
+		}
+		return i
+	}
+	// Union each flow with the first flow that touched each of its
+	// resources; the representative index lives in the resource's solve
+	// state (scratch fields stamped per attempt), so no map is needed.
+	fs.splitGen++
+	sgen := fs.splitGen
+	for i, f := range c.flows {
+		for _, r := range f.resources {
+			st := r.state
+			if st == nil {
+				st = &resState{}
+				r.state = st
+			}
+			if st.splitGen != sgen {
+				st.splitGen = sgen
+				st.splitIdx = int32(i)
+				continue
+			}
+			ri, rj := find(int32(i)), find(st.splitIdx)
+			if ri != rj {
+				parent[ri] = rj
+			}
+		}
+	}
+	groups := 0
+	for i := int32(0); i < int32(n); i++ {
+		if find(i) == i {
+			groups++
+		}
+	}
+	if groups == 1 {
+		c.splitCheckAt = len(c.flows)
+		return append(fs.compScratch[:0], c), nil
+	}
+	fs.stats.Splits++
+	// Build the parts in first-flow order so component ids and solve order
+	// stay deterministic.
+	byRoot := make(map[int32]*component, groups)
+	for i, f := range c.flows {
+		root := find(int32(i))
+		g := byRoot[root]
+		if g == nil {
+			fs.compSeq++
+			g = &component{id: fs.compSeq}
+			byRoot[root] = g
+			parts = append(parts, g)
+		}
+		g.flows = append(g.flows, f) // ascending i preserves seq order
+		f.comp = g
+	}
+	for _, g := range parts {
+		g.splitCheckAt = len(g.flows)
+	}
+	for _, r := range c.resources {
+		if r.comp == c {
+			r.comp = nil // re-claimed by each part's solve
+		}
+	}
+	oldRes = c.resources
+	c.dead = true
+	fs.removeDead()
+	fs.comps = append(fs.comps, parts...)
+	return parts, oldRes
+}
+
+// solveComponent water-fills one component and refreshes resource
+// ownership and rate caches. A drained component (no flows left) is
+// retired: its resources are closed out and it is removed from the live
+// list.
+func (fs *flowSet) solveComponent(c *component) {
+	if len(c.flows) == 0 {
+		for _, r := range c.resources {
+			if r.comp == c {
+				fs.closeResource(r)
+			}
+		}
+		c.resources = c.resources[:0]
+		c.dead = true
+		fs.removeDead()
+		return
+	}
+	fs.stats.ComponentsSolved++
+	fs.stats.FlowsSolved += int64(len(c.flows))
+	var touched []*Resource
+	if fs.mode == AllocGlobal {
+		touched = fs.allocateRef(c.flows, false)
+	} else {
+		touched = fs.allocateFast(c.flows)
+	}
+	for _, r := range touched {
+		r.comp = c
+	}
+	// Resources the solve no longer touched belonged only to finished
+	// flows: zero their caches and release them.
+	for _, r := range c.resources {
+		if r.comp == c {
+			if st := fs.stateOf(r); st == nil || st.gen != fs.solveGen {
+				fs.closeResource(r)
+			}
+		}
+	}
+	c.resources = append(c.resources[:0], touched...)
+	fs.cacheRates(touched)
+}
+
+// scheduleCompletion reschedules the single global completion event from
+// an O(active) scan — the exact scan (and slack policy) of the historical
+// global solver, so event times stay bitwise-identical to it. Every batch
+// bumps the generation, superseding the previous event.
+func (fs *flowSet) scheduleCompletion() {
+	fs.gen++
+	bestT := Infinity
+	for _, f := range fs.active {
+		if f.rate <= 0 {
+			continue
+		}
+		t := fs.e.now + Time(f.remaining/f.rate)
+		if t < bestT {
+			bestT = t
+		}
+	}
+	if bestT == Infinity {
+		return
+	}
+	// At large scale, slightly uneven loads spread completions over
+	// thousands of micro-instants, each costing a reallocation round.
+	// Defer the completion event by a small relative slack so the whole
+	// cohort retires in one batch; the ≤2% timing error is far below the
+	// model's fidelity, and small simulations (where unit tests assert
+	// exact times) are left untouched.
+	if len(fs.active) > 1024 {
+		bestT += Time(completionQuantum) + (bestT-fs.e.now)*Time(0.02)
+	}
+	gen := fs.gen
+	fs.e.At(bestT, func() { fs.completeAll(gen) })
+}
+
+// completeAll finishes every flow whose remaining bytes have drained.
+// Stale events (from a superseded rate assignment) are ignored via the
+// generation counter; finished flows are spliced out of their components,
+// which are queued for a split check and re-solve.
+func (fs *flowSet) completeAll(gen int64) {
+	if gen != fs.gen || fs.dirty {
+		// Stale, or a batch for this instant is already queued and will
+		// reschedule completions itself.
+		return
+	}
+	e := fs.e
+	fs.advance(e.now)
+	var finished []*flow
+	kept := fs.active[:0]
+	for _, f := range fs.active {
+		// Flows drained to (numerically) zero finish now. Batching of
+		// near-simultaneous completions happens upstream: the completion
+		// event is deferred slightly at large scale, so the whole cohort
+		// has hit zero by the time it fires.
+		if f.remaining <= 1e-9*math.Max(1, f.rate) {
+			finished = append(finished, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	fs.active = kept
+	if len(finished) == 0 {
+		return
+	}
+	// Partition maintenance: splice finished flows out of their
+	// components; survivors' rates change and the components may have
+	// disconnected.
+	affected := fs.compScratch[:0]
+	for _, f := range finished {
+		c := f.comp
+		f.comp = nil
+		if c != nil && !c.visit {
+			c.visit = true
+			affected = append(affected, c)
+		}
+	}
+	for _, c := range affected {
+		c.visit = false
+		keptF := c.flows[:0]
+		for _, f := range c.flows {
+			if f.comp != nil {
+				keptF = append(keptF, f)
+			}
+		}
+		c.flows = keptF
+		c.needSplit = true
+	}
+	for _, f := range finished {
+		if e.tracer != nil && f.traceID != 0 {
+			e.tracer.FlowEnd(e.now, f.traceID)
+		}
+		if f.p != nil {
+			f.p.resume()
+		}
+		if f.done != nil {
+			done := f.done
+			e.At(e.now, done)
+		}
+	}
+	for _, c := range affected {
+		fs.markCompDirty(c)
+	}
+	fs.compScratch = affected[:0]
+}
+
+// closeResource releases a resource whose last crossing flow retired:
+// ownership and caches are cleared, and with a tracer attached it gets a
+// closing zero-rate sample.
+func (fs *flowSet) closeResource(r *Resource) {
+	r.comp = nil
+	r.nflows = 0
+	r.alloc = 0
+	if fs.e.tracer != nil {
+		fs.e.tracer.ResourceSample(fs.e.now, r, 0)
+	}
+}

@@ -77,15 +77,12 @@ type Engine struct {
 
 	idle chan struct{} // signalled by a proc when it parks or exits
 
-	procSeq        int64
-	parked         int // procs currently parked (alive but blocked)
-	flows          flowSet
-	flowGen        int64 // invalidates stale flow-completion events
-	flowSeq        int64 // trace ids for flows (assigned only when tracing)
-	tracer         Tracer
-	finished       bool
-	recomputeCount int64
-	recomputeWork  int64
+	procSeq  int64
+	parked   int // procs currently parked (alive but blocked)
+	flows    flowSet
+	flowSeq  int64 // trace ids for flows (assigned only when tracing)
+	tracer   Tracer
+	finished bool
 }
 
 // Tracer receives the engine's instrumentation stream: fluid-flow
@@ -107,13 +104,19 @@ type Tracer interface {
 	Instant(t Time, category, name string)
 }
 
-// debugRecompute enables recompute-rate diagnostics (set via UNIVISTOR_SIM_DEBUG).
-var debugRecompute = os.Getenv("UNIVISTOR_SIM_DEBUG") != ""
-
-// NewEngine returns an empty simulation at virtual time zero.
+// NewEngine returns an empty simulation at virtual time zero. The
+// allocator runs in incremental (component-based) mode unless
+// UNIVISTOR_SIM_ALLOC=global is set; UNIVISTOR_SIM_DIFFCHECK enables the
+// differential self-check (see SetDifferentialCheck).
 func NewEngine() *Engine {
 	e := &Engine{idle: make(chan struct{})}
 	e.flows.e = e
+	if os.Getenv("UNIVISTOR_SIM_ALLOC") == "global" {
+		e.flows.mode = AllocGlobal
+	}
+	if os.Getenv("UNIVISTOR_SIM_DIFFCHECK") != "" {
+		e.flows.diffCheck = true
+	}
 	return e
 }
 
@@ -298,6 +301,12 @@ type Resource struct {
 	// crosses the resource several times (maintained by flowSet; the same
 	// value ResourceSample reports).
 	alloc float64
+	// comp is the connected component currently owning this resource, nil
+	// while no active flow crosses it (maintained by flowSet).
+	comp *component
+	// state is the fast solver's per-resource working state, gen-stamped
+	// per solve and lazily allocated (see allocateFast).
+	state *resState
 }
 
 var resourceSeq atomic.Int64
@@ -314,9 +323,14 @@ func NewResource(name string, capacity float64) *Resource {
 // [0, 1]. It reflects the most recent rate computation: the allocator
 // caches the per-resource rate on every recompute, so this is O(1) and
 // counts each flow once even when its path crosses the resource more
-// than once — the same value ResourceSample reports.
+// than once — the same value ResourceSample reports. A resource degraded
+// to zero capacity reports 0 (its flows are parked, nothing is allocated)
+// rather than NaN.
 func (r *Resource) Utilization(e *Engine) float64 {
 	_ = e // kept for API compatibility; the rate is cached on the resource
+	if r.Capacity <= 0 {
+		return 0
+	}
 	return r.alloc / r.Capacity
 }
 
@@ -327,26 +341,48 @@ type flow struct {
 	p         *Proc
 	done      func() // alternative to waking a proc
 	traceID   int64  // nonzero only while a tracer is attached
+
+	seq     int64      // insertion order; fixes allocation iteration order
+	comp    *component // owning component; nil once the flow finishes
+	refRate float64    // differential-mode shadow rate (reference solver)
+	// parked marks a flow crossing a zero-capacity (degraded-to-outage)
+	// resource: its rate is held at 0 and it is excluded from allocation
+	// until a recompute sees the capacity restored.
+	parked bool
 }
 
 type flowSet struct {
 	e      *Engine
-	active []*flow
+	active []*flow // ascending flow.seq
 	last   Time
-	// dirty marks that the active set changed at the current instant and a
-	// single deferred recompute is scheduled — coalescing the O(flows)
-	// allocation work when thousands of flows start or finish together.
+	// dirty marks that the component dirty-list is non-empty and a single
+	// deferred batch solve is scheduled for the current instant —
+	// coalescing the allocation work when thousands of flows start or
+	// finish together.
 	dirty bool
 
-	// Reusable allocation scratch (see recompute).
-	scratch map[*Resource]*resState
-	touched []*Resource
-	heapBuf shareHeap
+	mode      AllocMode
+	diffCheck bool
+	stats     AllocStats
 
-	// lastSampled are the resources whose alloc cache the previous
-	// recompute set; ones that drop out are zeroed (and, with a tracer
-	// attached, get a closing zero-rate sample).
-	lastSampled []*Resource
+	gen     int64 // invalidates stale flow-completion events
+	flowSeq int64 // flow insertion order
+	compSeq int64 // component ids, for deterministic merge tie-breaks
+
+	comps       []*component // live components, creation order
+	dirtyComps  []*component
+	compScratch []*component // add() dedup scratch
+
+	// Reusable allocation scratch (see allocateRef / allocateFast).
+	scratch     map[*Resource]*resState // reference-path states
+	touched     []*Resource
+	heapBuf     shareHeap
+	fastHeapBuf fastHeap
+	solveGen    int64 // stamps resStates per solve
+
+	// Reusable split() scratch.
+	ufParent []int32
+	splitGen int64 // stamps resState split scratch per attempt
 }
 
 // traceFlowStart registers a new flow with the attached tracer.
@@ -355,58 +391,6 @@ func (fs *flowSet) traceFlowStart(f *flow, size float64) {
 	e.flowSeq++
 	f.traceID = e.flowSeq
 	e.tracer.FlowBegin(e.now, f.traceID, size, f.resources)
-}
-
-// cacheRates stores the post-recompute allocated rate of every touched
-// resource on the resource itself (the cache Utilization reads), closing
-// out resources that no longer carry flows. A flow whose path crosses the
-// same resource several times appears consecutively in the state's flow
-// list and is counted once. With a tracer attached, the same values are
-// reported as ResourceSamples, so Utilization and the recorded timeline
-// always agree.
-func (fs *flowSet) cacheRates(states map[*Resource]*resState, gen int64) {
-	e := fs.e
-	for _, r := range fs.lastSampled {
-		if st := states[r]; st == nil || st.gen != gen {
-			r.alloc = 0
-			if e.tracer != nil {
-				e.tracer.ResourceSample(e.now, r, 0)
-			}
-		}
-	}
-	for _, r := range fs.touched {
-		used := 0.0
-		var prev *flow
-		for _, f := range states[r].flows {
-			if f == prev {
-				continue // repeat crossing of the same flow
-			}
-			prev = f
-			if f.rate > 0 {
-				used += f.rate
-			}
-		}
-		r.alloc = used
-		if e.tracer != nil {
-			e.tracer.ResourceSample(e.now, r, used)
-		}
-	}
-	fs.lastSampled = append(fs.lastSampled[:0], fs.touched...)
-}
-
-// markDirty schedules one recompute for the current instant.
-func (fs *flowSet) markDirty() {
-	if fs.dirty {
-		return
-	}
-	fs.dirty = true
-	fs.e.At(fs.e.now, func() {
-		if fs.dirty {
-			fs.dirty = false
-			fs.advance(fs.e.now)
-			fs.recompute()
-		}
-	})
 }
 
 // advance progresses all active flows to time t at their current rates.
@@ -423,206 +407,6 @@ func (fs *flowSet) advance(t Time) {
 	fs.last = t
 }
 
-// shareEntry is a lazy-heap entry for the water-filling allocator.
-type shareEntry struct {
-	share float64
-	res   *Resource
-	ver   int
-}
-
-type shareHeap []shareEntry
-
-func (h shareHeap) Len() int { return len(h) }
-func (h shareHeap) Less(i, j int) bool {
-	if h[i].share != h[j].share {
-		return h[i].share < h[j].share
-	}
-	return h[i].res.id < h[j].res.id
-}
-func (h shareHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *shareHeap) Push(x any)   { *h = append(*h, x.(shareEntry)) }
-func (h *shareHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-// resState is the per-resource working state of one allocation round. The
-// structs are reused across rounds (gen-stamped) to keep the allocator
-// allocation-free in steady state.
-type resState struct {
-	remCap float64
-	remCnt int
-	ver    int
-	flows  []*flow
-	gen    int64
-}
-
-// recompute performs max-min fair (water-filling) rate allocation across all
-// active flows, then schedules a completion event for the earliest finisher.
-// Bottleneck selection uses a lazy min-heap of fair shares, so a full
-// allocation costs O(E log R) where E is the total flow-resource degree.
-func (fs *flowSet) recompute() {
-	fs.e.flowGen++
-	if debugRecompute && len(fs.active) > 0 {
-		fs.e.recomputeCount++
-		fs.e.recomputeWork += int64(len(fs.active))
-		if fs.e.recomputeCount%500 == 0 {
-			fmt.Printf("[sim] recompute #%d t=%.4f active=%d work=%dM\n",
-				fs.e.recomputeCount, float64(fs.e.now), len(fs.active), fs.e.recomputeWork/1e6)
-		}
-	}
-	n := len(fs.active)
-	if n == 0 {
-		for _, r := range fs.lastSampled {
-			r.alloc = 0
-			if fs.e.tracer != nil {
-				fs.e.tracer.ResourceSample(fs.e.now, r, 0)
-			}
-		}
-		fs.lastSampled = fs.lastSampled[:0]
-		return
-	}
-	if fs.scratch == nil {
-		fs.scratch = make(map[*Resource]*resState, 64)
-	}
-	states := fs.scratch
-	gen := fs.e.flowGen
-	touched := fs.touched[:0]
-	for _, f := range fs.active {
-		f.rate = -1 // unassigned
-		for _, r := range f.resources {
-			st := states[r]
-			if st == nil {
-				st = &resState{}
-				states[r] = st
-			}
-			if st.gen != gen {
-				st.gen = gen
-				st.remCap = r.Capacity
-				st.remCnt = 0
-				st.ver = 0
-				st.flows = st.flows[:0]
-				touched = append(touched, r)
-			}
-			st.remCnt++
-			st.flows = append(st.flows, f)
-		}
-	}
-	fs.touched = touched
-	h := fs.heapBuf[:0]
-	for _, r := range touched {
-		st := states[r]
-		r.nflows = st.remCnt
-		h = append(h, shareEntry{share: st.remCap / float64(st.remCnt), res: r, ver: 0})
-	}
-	heap.Init(&h)
-	defer func() { fs.heapBuf = h[:0] }()
-	unassigned := n
-	for unassigned > 0 && h.Len() > 0 {
-		e := heap.Pop(&h).(shareEntry)
-		st := states[e.res]
-		if e.ver != st.ver || st.remCnt == 0 {
-			continue // stale entry
-		}
-		// Floor the share so rounding in earlier rounds can never produce a
-		// zero rate, which would stall a flow forever.
-		share := e.share
-		if min := e.res.Capacity * 1e-12; share < min {
-			share = min
-		}
-		// Freeze every unassigned flow crossing the bottleneck, charging its
-		// rate to its other resources and refreshing their heap entries.
-		for _, f := range st.flows {
-			if f.rate >= 0 {
-				continue
-			}
-			f.rate = share
-			unassigned--
-			for _, r := range f.resources {
-				ost := states[r]
-				ost.remCap -= share
-				if ost.remCap < 0 {
-					ost.remCap = 0
-				}
-				ost.remCnt--
-				ost.ver++
-				if r != e.res && ost.remCnt > 0 {
-					heap.Push(&h, shareEntry{share: ost.remCap / float64(ost.remCnt), res: r, ver: ost.ver})
-				}
-			}
-		}
-	}
-	fs.cacheRates(states, gen)
-	// Earliest completion.
-	bestT := Infinity
-	for _, f := range fs.active {
-		if f.rate <= 0 {
-			continue
-		}
-		t := fs.e.now + Time(f.remaining/f.rate)
-		if t < bestT {
-			bestT = t
-		}
-	}
-	if bestT == Infinity {
-		return
-	}
-	// At large scale, slightly uneven loads spread completions over
-	// thousands of micro-instants, each costing a full reallocation.
-	// Defer the completion event by a small relative slack so the whole
-	// cohort retires in one batch; the ≤2% timing error is far below the
-	// model's fidelity, and small simulations (where unit tests assert
-	// exact times) are left untouched.
-	if len(fs.active) > 1024 {
-		bestT += Time(completionQuantum) + (bestT-fs.e.now)*Time(0.02)
-	}
-	fs.e.At(bestT, func() { fs.e.completeFlows(gen) })
-}
-
-// completeFlows finishes every flow whose remaining bytes have drained. Stale
-// events (from a superseded rate assignment) are ignored via the generation
-// counter.
-func (e *Engine) completeFlows(gen int64) {
-	if gen != e.flowGen || e.flows.dirty {
-		// Stale, or a recompute for this instant is already queued and
-		// will reschedule completions itself.
-		return
-	}
-	e.flows.advance(e.now)
-	var finished []*flow
-	kept := e.flows.active[:0]
-	for _, f := range e.flows.active {
-		// Flows drained to (numerically) zero finish now. Batching of
-		// near-simultaneous completions happens upstream: recompute defers
-		// this event slightly at large scale, so the whole cohort has hit
-		// zero by the time it fires.
-		if f.remaining <= 1e-9*math.Max(1, f.rate) {
-			finished = append(finished, f)
-		} else {
-			kept = append(kept, f)
-		}
-	}
-	e.flows.active = kept
-	for _, f := range finished {
-		if e.tracer != nil && f.traceID != 0 {
-			e.tracer.FlowEnd(e.now, f.traceID)
-		}
-		if f.p != nil {
-			f.p.resume()
-		}
-		if f.done != nil {
-			done := f.done
-			e.At(e.now, done)
-		}
-	}
-	if len(finished) > 0 {
-		e.flows.markDirty()
-	}
-}
-
 // Transfer moves size bytes across the given resources, blocking the process
 // for the simulated duration. The flow's instantaneous rate is the max-min
 // fair share of the most contended resource on its path. A zero or negative
@@ -637,8 +421,7 @@ func (p *Proc) Transfer(size float64, resources ...*Resource) {
 	if e.tracer != nil {
 		e.flows.traceFlowStart(f, size)
 	}
-	e.flows.active = append(e.flows.active, f)
-	e.flows.markDirty()
+	e.flows.add(f)
 	p.park()
 }
 
@@ -656,8 +439,7 @@ func (e *Engine) StartTransfer(size float64, done func(), resources ...*Resource
 	if e.tracer != nil {
 		e.flows.traceFlowStart(f, size)
 	}
-	e.flows.active = append(e.flows.active, f)
-	e.flows.markDirty()
+	e.flows.add(f)
 }
 
 // ActiveFlows returns the number of in-flight fluid transfers.
@@ -697,13 +479,49 @@ func (p *Proc) TransferAll(flows []Flow) {
 	p.park()
 }
 
-// RecomputeFlows re-runs the max-min allocation, picking up any external
-// change to resource capacities. Callers that mutate Resource.Capacity while
-// flows are active must call this for the change to take effect.
+// RecomputeFlows re-runs the max-min allocation across every component,
+// picking up any external change to resource capacities. Callers that
+// mutate Resource.Capacity while flows are active must call this (or the
+// targeted RecomputeResources) for the change to take effect.
 func (e *Engine) RecomputeFlows() {
-	e.flows.dirty = false // supersedes any queued deferred recompute
-	e.flows.advance(e.now)
-	e.flows.recompute()
+	fs := &e.flows
+	for _, c := range fs.comps {
+		fs.queueDirty(c)
+	}
+	fs.runPending()
+}
+
+// RecomputeResources is the targeted form of RecomputeFlows: after mutating
+// the capacities of rs, only the components whose flows actually cross one
+// of rs are re-solved — rates elsewhere are provably unchanged under
+// max-min fairness. Resources not crossed by any active flow are skipped.
+// Any recompute already queued for this instant is folded into the batch.
+func (e *Engine) RecomputeResources(rs ...*Resource) {
+	fs := &e.flows
+	if fs.mode == AllocGlobal {
+		// Baseline semantics: the historical solver re-solved the whole
+		// active set on every capacity-change notification, changed or not.
+		for _, c := range fs.comps {
+			fs.queueDirty(c)
+		}
+	} else {
+		for _, r := range rs {
+			if c := r.comp; c != nil && !c.dead {
+				fs.queueDirty(c)
+			}
+		}
+	}
+	fs.runPending()
+}
+
+// runPending advances flows to the current instant, solves every queued
+// dirty component synchronously (superseding the deferred same-instant
+// batch event), and reschedules the global completion event.
+func (fs *flowSet) runPending() {
+	fs.dirty = false
+	fs.advance(fs.e.now)
+	fs.processDirty()
+	fs.scheduleCompletion()
 }
 
 // CheckFlowConservation verifies that the current rate assignment respects
@@ -716,7 +534,7 @@ func (e *Engine) RecomputeFlows() {
 // harness.
 func (e *Engine) CheckFlowConservation(eps float64) []string {
 	if e.flows.dirty {
-		e.RecomputeFlows()
+		e.flows.runPending()
 	}
 	used := map[*Resource]float64{}
 	var order []*Resource

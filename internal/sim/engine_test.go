@@ -372,9 +372,9 @@ func TestMaxMinPropertyConservation(t *testing.T) {
 				rs = append(rs, resources[rng.Intn(nRes)])
 			}
 			flows[i] = &flow{resources: rs, remaining: 1e12}
-			e.flows.active = append(e.flows.active, flows[i])
+			e.flows.add(flows[i])
 		}
-		e.flows.recompute()
+		e.flows.runPending()
 		// Check 1: no resource over capacity.
 		for _, r := range resources {
 			used := 0.0

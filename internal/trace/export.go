@@ -22,6 +22,7 @@ const (
 	pidTracks    = 1
 	pidResources = 2
 	pidFlows     = 3
+	pidAllocator = 4
 )
 
 // chromeEvent is one entry of the trace-event array.
@@ -58,6 +59,9 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 	meta(pidTracks, "ranks")
 	meta(pidResources, "resources")
 	meta(pidFlows, "flows")
+	if len(r.allocSamples) > 0 {
+		meta(pidAllocator, "allocator")
+	}
 	for i, tr := range r.tracks {
 		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Pid: pidTracks,
 			Tid: i + 1, Args: map[string]any{"name": tr.name}})
@@ -103,6 +107,14 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 				Ts: usec(float64(s.t)), Pid: pidResources, Tid: 1,
 				Args: map[string]any{"bytes_per_sec": s.rate}})
 		}
+	}
+	for _, s := range r.allocSamples {
+		out = append(out, chromeEvent{Name: "alloc.components", Ph: "C",
+			Ts: usec(float64(s.t)), Pid: pidAllocator, Tid: 1,
+			Args: map[string]any{"live": s.live}})
+		out = append(out, chromeEvent{Name: "alloc.flows_solved", Ph: "C",
+			Ts: usec(float64(s.t)), Pid: pidAllocator, Tid: 1,
+			Args: map[string]any{"cumulative": s.stats.FlowsSolved}})
 	}
 	return out
 }

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"univistor/internal/sim"
 )
 
 // CategorySummary aggregates the spans of one category.
@@ -53,6 +55,19 @@ type Summary struct {
 	Instants int `json:"instants"`
 	// Flows is the number of fluid transfers recorded.
 	Flows int `json:"flows"`
+	// Alloc digests the allocator-counter timeline; nil when the engine
+	// recorded no allocator samples.
+	Alloc *AllocSummary `json:"alloc,omitempty"`
+}
+
+// AllocSummary is the allocator block of a recording's digest: the final
+// cumulative counters plus the sampled component high-water mark.
+type AllocSummary struct {
+	sim.AllocStats
+	// Samples is the number of dirty-batch samples on the timeline.
+	Samples int `json:"samples"`
+	// FinalComponents is the live component count at the last sample.
+	FinalComponents int `json:"final_components"`
 }
 
 // percentile returns the q-quantile (0 < q ≤ 1) of sorted durations.
@@ -144,6 +159,10 @@ func (r *Recorder) Summarize(maxResources int) *Summary {
 	if maxResources > 0 && len(s.Resources) > maxResources {
 		s.Resources = s.Resources[:maxResources]
 	}
+	if n := len(r.allocSamples); n > 0 {
+		last := r.allocSamples[n-1]
+		s.Alloc = &AllocSummary{AllocStats: last.stats, Samples: n, FinalComponents: last.live}
+	}
 	return s
 }
 
@@ -166,5 +185,10 @@ func (s *Summary) Format(w io.Writer) {
 			fmt.Fprintf(w, "%-28s %14.3g %8.3f %8.3f %8d\n",
 				r.Name, r.CapacityBps, r.BusyFraction, r.MeanUtilization, r.Samples)
 		}
+	}
+	if s.Alloc != nil {
+		a := s.Alloc
+		fmt.Fprintf(w, "allocator: %d batches, %d component solves (%d flows), %d merges, %d splits, peak %d components, %d parked\n",
+			a.Recomputes, a.ComponentsSolved, a.FlowsSolved, a.Merges, a.Splits, a.PeakComponents, a.ParkedFlows)
 	}
 }

@@ -94,6 +94,15 @@ type counter struct {
 	samples  []sample
 }
 
+// allocSample is one point of the allocator-counter timeline: the
+// engine's cumulative AllocStats and the live component count after a
+// dirty-batch solve.
+type allocSample struct {
+	t     sim.Time
+	stats sim.AllocStats
+	live  int
+}
+
 // Recorder accumulates a simulation's trace. The zero value is not usable;
 // create one with New. A nil *Recorder is the disabled recorder: every
 // method no-ops after one nil check.
@@ -107,8 +116,13 @@ type Recorder struct {
 	counters     map[*sim.Resource]*counter
 	counterOrder []*sim.Resource // registration order, for deterministic export
 
+	allocSamples []allocSample // allocator-counter timeline (sim.AllocTracer)
+
 	maxTime sim.Time // latest event time seen; clamps still-open spans
 }
+
+// The recorder implements the engine's extended allocator-tracing hook.
+var _ sim.AllocTracer = (*Recorder)(nil)
 
 // New returns an empty enabled recorder.
 func New() *Recorder {
@@ -278,6 +292,23 @@ func (r *Recorder) ResourceSample(t sim.Time, res *sim.Resource, rate float64) {
 		return
 	}
 	c.samples = append(c.samples, sample{t: t, rate: rate})
+}
+
+// AllocSample records the engine's cumulative allocator counters after a
+// dirty-batch solve (sim.AllocTracer hook). The timeline exports as a
+// counter track (components over time) and digests into the summary's
+// allocator block.
+func (r *Recorder) AllocSample(t sim.Time, s sim.AllocStats, liveComponents int) {
+	if r == nil {
+		return
+	}
+	r.note(t)
+	// Same-instant batches supersede each other: keep the last state.
+	if n := len(r.allocSamples); n > 0 && r.allocSamples[n-1].t == t {
+		r.allocSamples[n-1] = allocSample{t: t, stats: s, live: liveComponents}
+		return
+	}
+	r.allocSamples = append(r.allocSamples, allocSample{t: t, stats: s, live: liveComponents})
 }
 
 // Events returns the total number of recorded track events (spans and

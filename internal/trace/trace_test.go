@@ -59,8 +59,8 @@ func TestRecorderSpansAndInstants(t *testing.T) {
 	if rep.Flows != 2 {
 		t.Errorf("flows = %d, want 2", rep.Flows)
 	}
-	if rep.CounterTracks != 2 {
-		t.Errorf("counter tracks = %d, want 2 (nic, disk)", rep.CounterTracks)
+	if rep.CounterTracks != 4 {
+		t.Errorf("counter tracks = %d, want 4 (nic, disk, alloc.components, alloc.flows_solved)", rep.CounterTracks)
 	}
 	wantCats := []string{"flush", "mpi", "write"}
 	if strings.Join(rep.Categories, ",") != strings.Join(wantCats, ",") {
@@ -194,5 +194,35 @@ func TestSummarize(t *testing.T) {
 	s.Format(&buf)
 	if !strings.Contains(buf.String(), "write") || !strings.Contains(buf.String(), "disk") {
 		t.Errorf("formatted summary missing expected rows:\n%s", buf.String())
+	}
+	if s.Alloc == nil {
+		t.Fatal("summary missing allocator block")
+	}
+	if s.Alloc.ComponentsSolved == 0 || s.Alloc.Samples == 0 || s.Alloc.PeakComponents == 0 {
+		t.Errorf("allocator block empty: %+v", s.Alloc)
+	}
+	if !strings.Contains(buf.String(), "allocator:") {
+		t.Errorf("formatted summary missing allocator line:\n%s", buf.String())
+	}
+}
+
+// The recorder implements sim.AllocTracer: every dirty-batch solve lands
+// one allocator sample, and same-instant batches supersede each other.
+func TestAllocSampleTimeline(t *testing.T) {
+	rec := New()
+	runScenario(rec)
+	if len(rec.allocSamples) == 0 {
+		t.Fatal("no allocator samples recorded")
+	}
+	var prev sim.Time = -1
+	for _, s := range rec.allocSamples {
+		if s.t <= prev {
+			t.Fatalf("allocator samples not strictly increasing in time: %v after %v", s.t, prev)
+		}
+		prev = s.t
+	}
+	last := rec.allocSamples[len(rec.allocSamples)-1]
+	if last.stats.Recomputes == 0 || last.stats.FlowsSolved == 0 {
+		t.Errorf("final allocator sample has empty counters: %+v", last.stats)
 	}
 }
