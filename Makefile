@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-perf chaos-smoke
+.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke
 
 all: check
 
@@ -29,6 +29,12 @@ bench:
 	$(GO) run ./cmd/univibench -quick -all
 
 # Wall-clock comparison of the incremental vs global flow allocator over
-# the quick figure sweeps; writes BENCH_PR5.json.
+# the quick figure sweeps. Override the output with PERF_OUT=path.
+PERF_OUT ?= BENCH_PR6.json
 bench-perf:
-	$(GO) run ./cmd/univibench -quick -perf -perf-out BENCH_PR5.json
+	$(GO) run ./cmd/univibench -quick -perf -out $(PERF_OUT)
+
+# Race-enabled sim + chaos tests with the differential-check oracle armed,
+# so the concurrent solver is exercised against the reference allocator.
+race-diffcheck:
+	UNIVISTOR_SIM_DIFFCHECK=1 $(GO) test -race ./internal/sim/... ./internal/chaos/...

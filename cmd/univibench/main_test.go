@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The figure output must be one byte stream, identical at every GOMAXPROCS
+// and worker-pool width: the solver fan-out is work-stealing internally but
+// merges per-component results in deterministic order, so host parallelism
+// must never leak into the results. This is the end-to-end determinism gate
+// for the parallel core.
+func TestFigureOutputIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "univibench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Drop any engine-tuning variables so each case controls its own
+	// parallelism exactly.
+	var env []string
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, "UNIVISTOR_SIM_") || strings.HasPrefix(kv, "GOMAXPROCS=") {
+			continue
+		}
+		env = append(env, kv)
+	}
+
+	run := func(gomaxprocs int, workers string) string {
+		args := []string{"-quick", "-fig", "fig8"}
+		if workers != "" {
+			args = append(args, "-workers", workers)
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Env = append(append([]string{}, env...),
+			"GOMAXPROCS="+string(rune('0'+gomaxprocs)))
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("univibench GOMAXPROCS=%d -workers=%q: %v\nstderr:\n%s",
+				gomaxprocs, workers, err, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	base := run(1, "1")
+	if !strings.Contains(base, "fig8") {
+		t.Fatalf("baseline output looks wrong:\n%s", base)
+	}
+	cases := []struct {
+		gomaxprocs int
+		workers    string
+	}{
+		{2, ""}, // default worker pool (NumCPU)
+		{8, ""},
+		{8, "8"},
+	}
+	for _, c := range cases {
+		if got := run(c.gomaxprocs, c.workers); got != base {
+			t.Errorf("output at GOMAXPROCS=%d -workers=%q differs from serial baseline:\n--- serial\n%s\n--- parallel\n%s",
+				c.gomaxprocs, c.workers, base, got)
+		}
+	}
+}

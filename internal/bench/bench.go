@@ -68,6 +68,11 @@ type Options struct {
 	// AllocReport, when set, observes each completed run's cumulative
 	// allocator counters.
 	AllocReport func(sim.AllocStats)
+	// Workers, when positive, caps the engine's solver worker pool on
+	// every stack the sweep builds (sim.Engine.SetWorkers). 0 keeps the
+	// engine default (NumCPU / UNIVISTOR_SIM_WORKERS). Figure output is
+	// byte-identical at every worker count.
+	Workers int
 }
 
 // DefaultOptions reproduces the paper's sweep.
@@ -257,6 +262,9 @@ func buildStack(v variant, procs int, o Options) *stack {
 	}
 	if o.DiffCheck {
 		e.SetDifferentialCheck(true)
+	}
+	if o.Workers > 0 {
+		e.SetWorkers(o.Workers)
 	}
 	w := mpi.NewWorld(e, topology.New(e, tc), v.policy)
 	st := &stack{E: e, W: w, onAlloc: o.AllocReport}

@@ -3,9 +3,10 @@ package bench
 // The -perf mode: wall-clock throughput of the simulation itself, run
 // once per allocator mode. The simulated results are byte-identical
 // across modes (the incremental allocator is observationally equivalent
-// to the historical global solver), so the only thing that differs is
-// how long the host takes to produce them — which is exactly what this
-// file measures and writes to BENCH_PR5.json.
+// to the historical global solver) and across worker counts, so the only
+// thing that differs is how long the host takes to produce them — which
+// is exactly what this file measures and writes to the -out report
+// (BENCH_PR6.json by default).
 
 import (
 	"encoding/json"
@@ -37,12 +38,14 @@ type PerfFigure struct {
 	Alloc sim.AllocStats `json:"alloc"`
 }
 
-// PerfReport is the BENCH_PR5.json document.
+// PerfReport is the perf-mode output document (BENCH_PR6.json).
 type PerfReport struct {
 	// Benchmark names the measurement series.
 	Benchmark string `json:"benchmark"`
 	// Quick records whether the laptop-scale sweep options were used.
 	Quick bool `json:"quick"`
+	// Workers is the solver worker cap the incremental runs used.
+	Workers int `json:"workers"`
 	// Figures holds one comparison per sweep, in run order.
 	Figures []PerfFigure `json:"figures"`
 	// LargestSweep is the figure with the largest global-allocator wall
@@ -60,6 +63,27 @@ func DefaultPerfFigures() []string {
 	return []string{"fig5a", "fig6a", "fig7", "fig8", "fig9"}
 }
 
+// perfSweep is one timed sweep: a figure runner pinned to specific scales.
+type perfSweep struct {
+	id     string
+	figure string
+	scales []int // nil keeps the Options sweep
+}
+
+// largePerfSweeps are the non-quick rank-scale sweeps appended after the
+// figure list: the fig8 workflow shape pinned at single large rank counts,
+// where the component partition is wide enough for both the incremental
+// allocator and the worker pool to pay off. They are expensive (the global
+// baseline at 16k ranks re-solves the whole active set on every
+// transition) and therefore excluded from the quick tier CI runs.
+func largePerfSweeps() []perfSweep {
+	return []perfSweep{
+		{id: "fig8@1k", figure: "fig8", scales: []int{1024}},
+		{id: "fig8@4k", figure: "fig8", scales: []int{4096}},
+		{id: "fig8@16k", figure: "fig8", scales: []int{16384}},
+	}
+}
+
 // RunPerf times the given figure sweeps under both allocators and
 // returns the comparison. Each sweep runs reps times per mode and the
 // minimum wall clock is kept (the least-noise estimate of the true
@@ -72,21 +96,38 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 	if reps < 1 {
 		reps = 1
 	}
-	rep := &PerfReport{Benchmark: "BENCH_PR5", Quick: quick}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = sim.NewEngine().Workers()
+	}
+	rep := &PerfReport{Benchmark: "BENCH_PR6", Quick: quick, Workers: workers}
 	say := func(format string, args ...any) {
 		if progress != nil {
 			fmt.Fprintf(progress, format+"\n", args...)
 		}
 	}
-	maxGlobal := 0.0
+	sweeps := make([]perfSweep, 0, len(figures)+3)
 	for _, id := range figures {
-		runner, ok := ByID(id)
+		sweeps = append(sweeps, perfSweep{id: id, figure: id})
+	}
+	if !quick {
+		sweeps = append(sweeps, largePerfSweeps()...)
+	}
+	maxGlobal := 0.0
+	for _, sw := range sweeps {
+		id := sw.id
+		runner, ok := ByID(sw.figure)
 		if !ok {
-			return nil, fmt.Errorf("bench: unknown perf figure %q", id)
+			return nil, fmt.Errorf("bench: unknown perf figure %q", sw.figure)
 		}
-		pf := PerfFigure{Figure: id, Scales: o.Scales, Reps: reps}
+		scales := o.Scales
+		if sw.scales != nil {
+			scales = sw.scales
+		}
+		pf := PerfFigure{Figure: id, Scales: scales, Reps: reps}
 		timeSweep := func(global bool, collect bool) float64 {
 			ro := o
+			ro.Scales = scales
 			ro.GlobalAlloc = global
 			ro.Verbose = false
 			if collect {

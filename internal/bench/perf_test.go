@@ -12,8 +12,11 @@ func TestRunPerfReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunPerf: %v", err)
 	}
-	if rep.Benchmark != "BENCH_PR5" || !rep.Quick {
+	if rep.Benchmark != "BENCH_PR6" || !rep.Quick {
 		t.Fatalf("bad header: %+v", rep)
+	}
+	if rep.Workers < 1 {
+		t.Fatalf("worker count not recorded: %+v", rep)
 	}
 	if len(rep.Figures) != 1 || rep.Figures[0].Figure != "fig5a" {
 		t.Fatalf("want one fig5a entry, got %+v", rep.Figures)

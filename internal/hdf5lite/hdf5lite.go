@@ -45,6 +45,12 @@ type File struct {
 	nextOff    int64
 	dirty      bool
 	closed     bool
+	// encBuf is the metadata-region encode buffer, reused across flushes:
+	// the region is rewritten on every dataset create and at close, and a
+	// fresh 64 KiB allocation per flush dominated whole-simulation
+	// allocation profiles. The MPI-IO layer copies written bytes, so the
+	// buffer may be overwritten by the next flush.
+	encBuf []byte
 }
 
 // Create starts a new container on a write-mode MPI file. With collective
@@ -131,23 +137,26 @@ func (h *File) Datasets() []DatasetInfo {
 }
 
 // writeMeta persists the dataset table into the metadata region. Without
-// the collective optimization every rank writes the region (all-to-one
-// traffic at the region's home); with it, only the root does.
+// the collective optimization every rank encodes and writes the region
+// (all-to-one traffic at the region's home); with it, only the root does —
+// non-root ranks still validate the table size so an overflow fails on
+// every rank, not just the root.
 func (h *File) writeMeta() error {
-	raw, err := encodeTable(h.table, h.nextOff)
-	if err != nil {
-		return err
+	if n := encodedSize(h.table); n > MetaRegionSize {
+		return fmt.Errorf("hdf5lite: dataset table (%d bytes) exceeds metadata region", n)
 	}
-	if h.collective {
-		if h.r.Rank() == 0 {
-			if err := h.f.WriteAt(0, MetaRegionSize, raw); err != nil {
-				return err
-			}
-		}
+	if h.collective && h.r.Rank() != 0 {
 		h.r.Bcast(0, 64, nil) // completion notification
 		return nil
 	}
-	return h.f.WriteAt(0, MetaRegionSize, raw)
+	h.encBuf = encodeTable(h.table, h.nextOff, h.encBuf)
+	if err := h.f.WriteAt(0, MetaRegionSize, h.encBuf); err != nil {
+		return err
+	}
+	if h.collective {
+		h.r.Bcast(0, 64, nil) // completion notification
+	}
+	return nil
 }
 
 // Close flushes the metadata region (write mode) and closes the MPI file.
@@ -195,32 +204,44 @@ func (d *Dataset) ReadElems(elemOff, count int64) ([]byte, error) {
 // ---------------------------------------------------------------------------
 // Table serialization.
 
-func encodeTable(table []DatasetInfo, nextOff int64) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write(magic[:])
-	if err := binary.Write(&buf, binary.LittleEndian, int64(len(table))); err != nil {
-		return nil, err
-	}
-	if err := binary.Write(&buf, binary.LittleEndian, nextOff); err != nil {
-		return nil, err
-	}
+// encodedSize returns the serialized table length in bytes (header plus
+// one length-prefixed name and three int64 fields per dataset).
+func encodedSize(table []DatasetInfo) int {
+	n := 20
 	for _, d := range table {
-		if err := binary.Write(&buf, binary.LittleEndian, uint8(len(d.Name))); err != nil {
-			return nil, err
-		}
-		buf.WriteString(d.Name)
-		for _, v := range []int64{d.ElemSize, d.Count, d.Offset} {
-			if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
-				return nil, err
-			}
-		}
+		n += 1 + len(d.Name) + 24
 	}
-	if buf.Len() > MetaRegionSize {
-		return nil, fmt.Errorf("hdf5lite: dataset table (%d bytes) exceeds metadata region", buf.Len())
+	return n
+}
+
+// encodeTable serializes the table into buf (grown to MetaRegionSize on
+// first use, reused afterwards) and returns it. The caller must have
+// checked encodedSize against MetaRegionSize. Fields are packed with
+// direct little-endian stores — the reflection-driven binary.Write path
+// allocated per field and showed up as the top allocation site of whole
+// simulations.
+func encodeTable(table []DatasetInfo, nextOff int64, buf []byte) []byte {
+	if cap(buf) < MetaRegionSize {
+		buf = make([]byte, MetaRegionSize)
 	}
-	out := make([]byte, MetaRegionSize)
-	copy(out, buf.Bytes())
-	return out, nil
+	out := buf[:MetaRegionSize]
+	p := copy(out, magic[:])
+	binary.LittleEndian.PutUint64(out[p:], uint64(len(table)))
+	binary.LittleEndian.PutUint64(out[p+8:], uint64(nextOff))
+	p += 16
+	for _, d := range table {
+		out[p] = uint8(len(d.Name))
+		p++
+		p += copy(out[p:], d.Name)
+		binary.LittleEndian.PutUint64(out[p:], uint64(d.ElemSize))
+		binary.LittleEndian.PutUint64(out[p+8:], uint64(d.Count))
+		binary.LittleEndian.PutUint64(out[p+16:], uint64(d.Offset))
+		p += 24
+	}
+	// Zero the tail so reused buffers always produce the exact bytes a
+	// fresh zeroed region would.
+	clear(out[p:])
+	return out
 }
 
 func decodeTable(raw []byte) (table []DatasetInfo, nextOff int64, err error) {

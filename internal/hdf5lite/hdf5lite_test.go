@@ -65,12 +65,20 @@ func TestTableEncodeDecodeRoundTrip(t *testing.T) {
 		{Name: "x", ElemSize: 4, Count: 100, Offset: MetaRegionSize},
 		{Name: "energy", ElemSize: 8, Count: 50, Offset: MetaRegionSize + 400},
 	}
-	raw, err := encodeTable(table, MetaRegionSize+800)
-	if err != nil {
-		t.Fatal(err)
-	}
+	raw := encodeTable(table, MetaRegionSize+800, nil)
 	if len(raw) != MetaRegionSize {
 		t.Fatalf("encoded region %d bytes", len(raw))
+	}
+	// Re-encoding into a dirty reused buffer must yield the exact bytes a
+	// fresh zeroed region would — the reuse contract of File.encBuf.
+	fresh := append([]byte(nil), raw...)
+	dirty := make([]byte, MetaRegionSize)
+	for i := range dirty {
+		dirty[i] = 0xAA
+	}
+	again := encodeTable(table, MetaRegionSize+800, dirty)
+	if !bytes.Equal(fresh, again) {
+		t.Fatal("re-encode into reused buffer differs from fresh encode")
 	}
 	got, next, err := decodeTable(raw)
 	if err != nil {

@@ -67,6 +67,10 @@ type ProcHandle struct {
 	socket   *topology.Socket
 	runnable bool
 	MemPort  *sim.Resource
+	// memPath caches the MemPath slice. It is dropped (not mutated) when a
+	// flush migration changes the socket, so slices handed out earlier keep
+	// describing the path that was current when they were taken.
+	memPath []*sim.Resource
 }
 
 // Core returns the node-local index of the core the process currently runs
@@ -77,9 +81,15 @@ func (h *ProcHandle) Core() int { return h.core.Index }
 func (h *ProcHandle) SocketIndex() int { return h.socket.Index }
 
 // MemPath returns the resources a memory-bandwidth-bound operation by this
-// process crosses: its private core share and the socket memory port.
+// process crosses: its private core share and the socket memory port. The
+// slice is cached (transfers are path-hot: every write/read/flush leg takes
+// one) and must not be appended to in place; callers building longer paths
+// already copy it into their own slices.
 func (h *ProcHandle) MemPath() []*sim.Resource {
-	return []*sim.Resource{h.MemPort, h.socket.MemBW}
+	if h.memPath == nil {
+		h.memPath = []*sim.Resource{h.MemPort, h.socket.MemBW}
+	}
+	return h.memPath
 }
 
 // SetRunnable marks the process as actively competing for its core (true)
@@ -108,6 +118,10 @@ type nodeState struct {
 	// perProgram counts processes placed so far, for placement cursors.
 	perProgram map[string]int
 	flushing   bool
+	// runnableBuf is refreshNode's per-core runnable counter, indexed by
+	// the node-local core index — refreshNode runs on every runnable
+	// toggle, and a fresh map per call dominated its cost.
+	runnableBuf []int
 }
 
 // New returns a scheduler over the cluster using the given policy.
@@ -297,6 +311,7 @@ func (s *Scheduler) BeginFlush(nodeID int, serverProgram string) {
 			h.core.Pinned--
 			h.core = dst
 			h.socket = ns.node.Sockets[dst.Socket]
+			h.memPath = nil // next MemPath sees the new socket
 			dst.Pinned++
 		}
 	}
@@ -341,6 +356,7 @@ func (s *Scheduler) EndFlush(nodeID int, serverProgram string) {
 			h.core.Pinned--
 			h.core = h.homeCore
 			h.socket = ns.node.Sockets[h.core.Socket]
+			h.memPath = nil // next MemPath sees the home socket again
 			h.core.Pinned++
 		}
 	}
@@ -355,17 +371,21 @@ func (s *Scheduler) EndFlush(nodeID int, serverProgram string) {
 func (s *Scheduler) refreshNode(nodeID int) {
 	ns := s.nodes[nodeID]
 	// Count runnable processes per core.
-	runnable := map[*topology.Core]int{}
+	if len(ns.runnableBuf) != len(ns.node.Cores()) {
+		ns.runnableBuf = make([]int, len(ns.node.Cores()))
+	}
+	runnable := ns.runnableBuf
+	clear(runnable)
 	for _, h := range ns.procs {
 		if h.runnable {
-			runnable[h.core]++
+			runnable[h.core.Index]++
 		}
 	}
 	peak := s.cluster.Cfg.CorePeakBW
 	eff := s.cluster.Cfg.CtxSwitchEff
 	changed := s.changedPorts[:0]
 	for _, h := range ns.procs {
-		n := runnable[h.core]
+		n := runnable[h.core.Index]
 		if n < 1 {
 			n = 1
 		}

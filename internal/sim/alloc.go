@@ -458,10 +458,16 @@ func (h fastHeap) update(i int, share float64) {
 // monomorphic — together removing hashing and per-push boxing from the
 // hot loop. The differential mode cross-checks its output against
 // allocateRef bitwise.
-func (fs *flowSet) allocateFast(flows []*flow) []*Resource {
-	fs.solveGen++
-	gen := fs.solveGen
-	touched := fs.touched[:0]
+//
+// It is a method on solveScratch, not flowSet, so that parallel batches
+// can run one solve per worker with disjoint scratch: all mutable state is
+// either in the scratch, in the gen-stamped resStates of the component's
+// own resources, or in the component's own flows. gen must be unique per
+// solve (pre-assigned sequentially for parallel tasks, so results do not
+// depend on worker interleaving). Parked-flow visits are counted in
+// sc.parked for the caller to merge into the stats deterministically.
+func (sc *solveScratch) allocateFast(flows []*flow, gen int64) []*Resource {
+	touched := sc.touched[:0]
 	ensure := func(r *Resource) *resState {
 		st := r.state
 		if st == nil {
@@ -490,7 +496,7 @@ func (fs *flowSet) allocateFast(flows []*flow) []*Resource {
 		if parked {
 			f.rate = 0
 			f.parked = true
-			fs.stats.ParkedFlows++
+			sc.parked++
 			for _, r := range f.resources {
 				ensure(r)
 			}
@@ -505,8 +511,8 @@ func (fs *flowSet) allocateFast(flows []*flow) []*Resource {
 			st.flows = append(st.flows, f)
 		}
 	}
-	fs.touched = touched
-	h := fs.fastHeapBuf[:0]
+	sc.touched = touched
+	h := sc.heap[:0]
 	for _, r := range touched {
 		st := r.state
 		r.nflows = st.remCnt
@@ -516,7 +522,7 @@ func (fs *flowSet) allocateFast(flows []*flow) []*Resource {
 		}
 	}
 	h.init()
-	defer func() { fs.fastHeapBuf = h[:0] }()
+	defer func() { sc.heap = h[:0] }()
 	for unassigned > 0 && len(h) > 0 {
 		e := h.pop()
 		st := e.st

@@ -7,13 +7,21 @@
 // (union-find over the component's flows) after completions may have
 // disconnected it.
 //
-// Completion events stay global: one event at the earliest completion
-// across all components, rescheduled after every batch from an O(active)
-// scan. Per-component completion events were considered and rejected —
-// each component's event time would be an FP rearrangement of the global
-// solver's (slack bases and reschedule instants differ), breaking bitwise
-// output compatibility. The scan is two flops per flow; the water-fill
-// solve it used to accompany is the cost the partition eliminates.
+// Components are also the unit of parallelism: a dirty batch is split into
+// one task per component and fanned out across the worker pool (see
+// parallel.go). Each task touches only flows and resources owned by its
+// component, and every shared side effect — tracer samples, allocator
+// counters, the live-component list — is buffered per task and merged in
+// task order at the batch barrier, so results are byte-identical at any
+// worker count.
+//
+// Completion events are sharded per component: each component's flow list
+// is its own completion queue, scanned for the earliest finish time, and
+// the per-component heads are merged into the single global completion
+// event at the batch boundary (ties broken by component creation order —
+// the merged minimum is a pure min over identical operands, so event times
+// are bitwise-identical to the historical global O(active) scan, which the
+// per-component scans now parallelize).
 
 package sim
 
@@ -195,23 +203,34 @@ func (fs *flowSet) markCompDirty(c *component) {
 		return
 	}
 	fs.dirty = true
-	fs.e.At(fs.e.now, func() {
-		if fs.dirty {
-			fs.runPending()
-		}
-	})
+	fs.e.at(fs.e.now, event{kind: evBatch})
+}
+
+// splitResidue defers the close-out of resources a split left unclaimed
+// until after the split's parts have been solved (solving is what
+// re-claims them); afterTask anchors the close-out to the last part so
+// tracer samples keep the serial ordering.
+type splitResidue struct {
+	afterTask int
+	res       []*Resource
 }
 
 // processDirty solves every queued dirty component: splitting ones whose
 // completions may have disconnected them, water-filling each, and pruning
-// resource ownership. Runs the differential check and tracer sample once
-// per batch. The caller (runPending) reschedules the global completion
-// event afterwards.
+// resource ownership. The water-filling fans out across the worker pool
+// when the batch is large enough (see solveBatch). Runs the differential
+// check and tracer sample once per batch. The caller (runPending)
+// reschedules the global completion event afterwards.
 func (fs *flowSet) processDirty() {
 	if len(fs.dirtyComps) == 0 {
 		return
 	}
 	fs.stats.Recomputes++
+	// Phase 1 (serial): lazy split checks; build the solve list. Splits
+	// mutate the live-component list and id sequence, so they stay on the
+	// dispatcher goroutine.
+	solve := fs.solveList[:0]
+	var residues []splitResidue
 	for i := 0; i < len(fs.dirtyComps); i++ {
 		c := fs.dirtyComps[i]
 		if c.dead || !c.dirty {
@@ -224,22 +243,24 @@ func (fs *flowSet) processDirty() {
 			} else if len(c.flows)*2 <= c.splitCheckAt {
 				c.needSplit = false
 				parts, oldRes := fs.split(c)
-				for _, part := range parts {
-					fs.solveComponent(part)
+				if parts != nil {
+					solve = append(solve, parts...)
+					residues = append(residues, splitResidue{afterTask: len(solve) - 1, res: oldRes})
+					continue
 				}
-				// Resources no part claimed belonged only to finished flows.
-				for _, r := range oldRes {
-					if r.comp == nil {
-						fs.closeResource(r)
-					}
-				}
-				continue
+				// Still connected: solve jointly below.
 			}
 			// Deferred: solve jointly (bitwise-identical) and re-check
 			// once the component has halved.
 		}
-		fs.solveComponent(c)
+		solve = append(solve, c)
 	}
+	// Phase 2: water-fill the solve list — concurrently when worthwhile,
+	// with per-task side effects merged back in task order (phase 3
+	// inside solveBatch). Resources no part of a split claimed belonged
+	// only to finished flows and are closed after that split's parts.
+	fs.solveBatch(solve, residues)
+	fs.solveList = solve[:0]
 	fs.dirtyComps = fs.dirtyComps[:0]
 	if n := len(fs.comps); n > fs.stats.PeakComponents {
 		fs.stats.PeakComponents = n
@@ -259,10 +280,10 @@ func (fs *flowSet) processDirty() {
 
 // split re-partitions c after completions: union-find over its remaining
 // flows, keyed by shared resources. When the flows are still one
-// component, c is kept as-is (the subsequent solve prunes stale
-// resources). Otherwise c dies and its parts become fresh components; the
-// caller must solve every part and close resources left unclaimed. Runs
-// in O(E α(F)) for component degree E.
+// component, nil is returned and c is kept as-is (the subsequent solve
+// prunes stale resources). Otherwise c dies and its parts become fresh
+// components; the caller must solve every part and close resources left
+// unclaimed. Runs in O(E α(F)) for component degree E.
 func (fs *flowSet) split(c *component) (parts []*component, oldRes []*Resource) {
 	n := len(c.flows)
 	parent := fs.ufParent[:0]
@@ -308,7 +329,7 @@ func (fs *flowSet) split(c *component) (parts []*component, oldRes []*Resource) 
 	}
 	if groups == 1 {
 		c.splitCheckAt = len(c.flows)
-		return append(fs.compScratch[:0], c), nil
+		return nil, nil
 	}
 	fs.stats.Splits++
 	// Build the parts in first-flow order so component ids and solve order
@@ -341,10 +362,10 @@ func (fs *flowSet) split(c *component) (parts []*component, oldRes []*Resource) 
 	return parts, oldRes
 }
 
-// solveComponent water-fills one component and refreshes resource
-// ownership and rate caches. A drained component (no flows left) is
-// retired: its resources are closed out and it is removed from the live
-// list.
+// solveComponent water-fills one component on the dispatcher goroutine
+// and refreshes resource ownership and rate caches — the serial path of
+// solveBatch. A drained component (no flows left) is retired: its
+// resources are closed out and it is removed from the live list.
 func (fs *flowSet) solveComponent(c *component) {
 	if len(c.flows) == 0 {
 		for _, r := range c.resources {
@@ -360,10 +381,17 @@ func (fs *flowSet) solveComponent(c *component) {
 	fs.stats.ComponentsSolved++
 	fs.stats.FlowsSolved += int64(len(c.flows))
 	var touched []*Resource
+	var gen int64
 	if fs.mode == AllocGlobal {
 		touched = fs.allocateRef(c.flows, false)
+		gen = fs.solveGen
 	} else {
-		touched = fs.allocateFast(c.flows)
+		fs.solveGen++
+		gen = fs.solveGen
+		sc := fs.serialScratch()
+		touched = sc.allocateFast(c.flows, gen)
+		fs.stats.ParkedFlows += sc.parked
+		sc.parked = 0
 	}
 	for _, r := range touched {
 		r.comp = c
@@ -372,7 +400,7 @@ func (fs *flowSet) solveComponent(c *component) {
 	// flows: zero their caches and release them.
 	for _, r := range c.resources {
 		if r.comp == c {
-			if st := fs.stateOf(r); st == nil || st.gen != fs.solveGen {
+			if st := fs.stateOf(r); st == nil || st.gen != gen {
 				fs.closeResource(r)
 			}
 		}
@@ -381,20 +409,41 @@ func (fs *flowSet) solveComponent(c *component) {
 	fs.cacheRates(touched)
 }
 
-// scheduleCompletion reschedules the single global completion event from
-// an O(active) scan — the exact scan (and slack policy) of the historical
-// global solver, so event times stay bitwise-identical to it. Every batch
-// bumps the generation, superseding the previous event.
-func (fs *flowSet) scheduleCompletion() {
-	fs.gen++
-	bestT := Infinity
-	for _, f := range fs.active {
+// compNextCompletion scans one component's flow list — its completion
+// queue — for the earliest finish time, exactly the per-flow arithmetic
+// of the historical global scan.
+func (fs *flowSet) compNextCompletion(c *component) Time {
+	best := Infinity
+	now := fs.e.now
+	for _, f := range c.flows {
 		if f.rate <= 0 {
 			continue
 		}
-		t := fs.e.now + Time(f.remaining/f.rate)
-		if t < bestT {
-			bestT = t
+		if t := now + Time(f.remaining/f.rate); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// scheduleCompletion reschedules the single global completion event by
+// merging the per-component completion-queue heads (ties broken by
+// component creation order). min over floats is grouping-independent, so
+// the merged time is bitwise-identical to the historical global O(active)
+// scan — and the per-component scans run on the worker pool when the
+// active set is large. Every batch bumps the generation, superseding the
+// previous event.
+func (fs *flowSet) scheduleCompletion() {
+	fs.gen++
+	var bestT Time
+	if w := fs.e.workers; w > 1 && len(fs.active) >= parallelMinFlows && len(fs.comps) > 1 {
+		bestT = fs.mergeNextCompletions(w)
+	} else {
+		bestT = Infinity
+		for _, c := range fs.comps {
+			if t := fs.compNextCompletion(c); t < bestT {
+				bestT = t
+			}
 		}
 	}
 	if bestT == Infinity {
@@ -409,14 +458,14 @@ func (fs *flowSet) scheduleCompletion() {
 	if len(fs.active) > 1024 {
 		bestT += Time(completionQuantum) + (bestT-fs.e.now)*Time(0.02)
 	}
-	gen := fs.gen
-	fs.e.At(bestT, func() { fs.completeAll(gen) })
+	fs.e.at(bestT, event{kind: evComplete, gen: fs.gen})
 }
 
 // completeAll finishes every flow whose remaining bytes have drained.
 // Stale events (from a superseded rate assignment) are ignored via the
 // generation counter; finished flows are spliced out of their components,
-// which are queued for a split check and re-solve.
+// which are queued for a split check and re-solve, and recycled into the
+// flow pool once their completion side effects are scheduled.
 func (fs *flowSet) completeAll(gen int64) {
 	if gen != fs.gen || fs.dirty {
 		// Stale, or a batch for this instant is already queued and will
@@ -425,7 +474,7 @@ func (fs *flowSet) completeAll(gen int64) {
 	}
 	e := fs.e
 	fs.advance(e.now)
-	var finished []*flow
+	finished := fs.finBuf[:0]
 	kept := fs.active[:0]
 	for _, f := range fs.active {
 		// Flows drained to (numerically) zero finish now. Batching of
@@ -440,6 +489,7 @@ func (fs *flowSet) completeAll(gen int64) {
 	}
 	fs.active = kept
 	if len(finished) == 0 {
+		fs.finBuf = finished[:0]
 		return
 	}
 	// Partition maintenance: splice finished flows out of their
@@ -473,14 +523,20 @@ func (fs *flowSet) completeAll(gen int64) {
 			f.p.resume()
 		}
 		if f.done != nil {
-			done := f.done
-			e.At(e.now, done)
+			e.At(e.now, f.done)
+		}
+		if f.fan != nil {
+			e.at(e.now, event{kind: evFanDone, fan: f.fan})
 		}
 	}
 	for _, c := range affected {
 		fs.markCompDirty(c)
 	}
 	fs.compScratch = affected[:0]
+	for _, f := range finished {
+		fs.freeFlow(f)
+	}
+	fs.finBuf = finished[:0]
 }
 
 // closeResource releases a resource whose last crossing flow retired:

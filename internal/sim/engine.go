@@ -10,16 +10,22 @@
 // concurrently and ties are broken by event sequence number, simulations are
 // fully deterministic.
 //
+// Batch solves of the flow allocator may fan out across a worker pool (see
+// SetWorkers); the parallel sections only touch state private to one
+// connected component and their results are merged in a deterministic order
+// at the batch boundary, so simulations stay byte-identical at any worker
+// count or GOMAXPROCS.
+//
 // Processes must not block on ordinary Go primitives; all waiting must go
 // through the engine so that virtual time can advance.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -40,32 +46,82 @@ const Infinity Time = Time(math.MaxFloat64)
 // handful of allocation rounds.
 const completionQuantum = 2e-5
 
+// Event kinds. The engine's own recurring events (process resumes, flow
+// completion, deferred batch solves, fan-out completions) are typed values
+// instead of closures, so pushing them allocates nothing; evFn carries an
+// arbitrary user callback.
+const (
+	evFn uint8 = iota
+	evResume
+	evComplete
+	evBatch
+	evFanDone
+)
+
 type event struct {
-	t   Time
-	seq int64
-	fn  func()
+	t    Time
+	seq  int64
+	kind uint8
+	proc *Proc   // evResume: the parked process to continue
+	fan  *fanout // evFanDone: the TransferAll fan-out to decrement
+	gen  int64   // evComplete: flow-set generation stamp
+	fn   func()  // evFn
 }
 
-type eventHeap []*event
+// eventHeap is a value-typed binary min-heap ordered by (t, seq). The
+// monomorphic sift operations avoid both the per-event allocation and the
+// interface boxing of container/heap.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
 }
-func (h eventHeap) peek() *event { return h[0] }
+
+func (h *eventHeap) popMin() event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = event{} // release fn/proc references
+	*h = hh[:n]
+	hh = hh[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && hh.less(r, l) {
+			m = r
+		}
+		if !hh.less(m, i) {
+			break
+		}
+		hh[i], hh[m] = hh[m], hh[i]
+		i = m
+	}
+	return top
+}
+
+func (h eventHeap) peek() *event { return &h[0] }
 func (h eventHeap) empty() bool  { return len(h) == 0 }
 
 // Engine is a discrete-event simulator instance. The zero value is not
@@ -83,6 +139,10 @@ type Engine struct {
 	flowSeq  int64 // trace ids for flows (assigned only when tracing)
 	tracer   Tracer
 	finished bool
+
+	// workers caps the solver fan-out for dirty-component batches; 1 keeps
+	// the engine fully serial (see SetWorkers).
+	workers int
 }
 
 // Tracer receives the engine's instrumentation stream: fluid-flow
@@ -104,12 +164,26 @@ type Tracer interface {
 	Instant(t Time, category, name string)
 }
 
+// defaultWorkers is the process-wide worker default: UNIVISTOR_SIM_WORKERS
+// when set to a positive integer, otherwise the machine's CPU count.
+var defaultWorkers = workersConfig(os.Getenv("UNIVISTOR_SIM_WORKERS"))
+
+func workersConfig(v string) int {
+	if n, err := strconv.Atoi(v); err == nil && n > 0 {
+		return n
+	}
+	return numCPU()
+}
+
 // NewEngine returns an empty simulation at virtual time zero. The
 // allocator runs in incremental (component-based) mode unless
 // UNIVISTOR_SIM_ALLOC=global is set; UNIVISTOR_SIM_DIFFCHECK enables the
-// differential self-check (see SetDifferentialCheck).
+// differential self-check (see SetDifferentialCheck). Dirty-component
+// batches are solved on up to runtime.NumCPU() workers (overridable via
+// UNIVISTOR_SIM_WORKERS or SetWorkers) — results are identical at any
+// worker count.
 func NewEngine() *Engine {
-	e := &Engine{idle: make(chan struct{})}
+	e := &Engine{idle: make(chan struct{}), workers: defaultWorkers}
 	e.flows.e = e
 	if os.Getenv("UNIVISTOR_SIM_ALLOC") == "global" {
 		e.flows.mode = AllocGlobal
@@ -122,6 +196,21 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetWorkers sets the maximum number of OS-level workers used to solve
+// dirty connected components concurrently at batch boundaries. n <= 1
+// keeps the solver fully serial. The simulation result is byte-identical
+// at every worker count; workers only change how fast the host produces
+// it. May be called at any point between batches.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers returns the configured solver worker cap.
+func (e *Engine) Workers() int { return e.workers }
 
 // SetTracer attaches the instrumentation sink. Passing nil disables
 // tracing; a disabled engine pays one nil check per potential event.
@@ -141,7 +230,18 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+	e.events.push(event{t: t, seq: e.seq, kind: evFn, fn: fn})
+}
+
+// at schedules a typed, allocation-free internal event.
+func (e *Engine) at(t Time, ev event) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev.t = t
+	ev.seq = e.seq
+	e.events.push(ev)
 }
 
 // After schedules fn to run d seconds from now.
@@ -204,13 +304,10 @@ func (p *Proc) park() {
 func (p *Proc) resume() { p.resumeAt(p.e.now) }
 
 // resumeAt schedules the parked process to continue at absolute time t.
+// The continuation is a typed event, not a closure, so parking and
+// resuming allocate nothing in steady state.
 func (p *Proc) resumeAt(t Time) {
-	e := p.e
-	e.At(t, func() {
-		e.parked--
-		p.wake <- struct{}{}
-		<-e.idle
-	})
+	p.e.at(t, event{kind: evResume, proc: p})
 }
 
 // Park blocks the process until some other process or event callback calls
@@ -240,17 +337,46 @@ func (p *Proc) Yield() {
 	p.park()
 }
 
+// dispatch executes one popped event in dispatcher context.
+func (e *Engine) dispatch(ev *event) {
+	switch ev.kind {
+	case evFn:
+		ev.fn()
+	case evResume:
+		e.parked--
+		ev.proc.wake <- struct{}{}
+		<-e.idle
+	case evComplete:
+		e.flows.completeAll(ev.gen)
+	case evBatch:
+		if e.flows.dirty {
+			e.flows.runPending()
+		}
+	case evFanDone:
+		// One piece of a TransferAll fan-out drained; the last piece
+		// wakes the issuing process (same event hop a done-callback would
+		// have taken, so wakeup order is unchanged).
+		f := ev.fan
+		f.pending--
+		if f.pending == 0 {
+			p := f.p
+			e.flows.freeFanout(f)
+			p.resume()
+		}
+	}
+}
+
 // Run executes the simulation until no events remain. It returns the final
 // virtual time. If processes remain parked when the event queue drains, they
 // are deadlocked; Run returns and Deadlocked reports how many.
 func (e *Engine) Run() Time {
 	for !e.events.empty() {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.popMin()
 		if ev.t > e.now {
 			e.flows.advance(ev.t)
 			e.now = ev.t
 		}
-		ev.fn()
+		e.dispatch(&ev)
 	}
 	e.finished = true
 	return e.now
@@ -260,12 +386,12 @@ func (e *Engine) Run() Time {
 // reached.
 func (e *Engine) RunUntil(deadline Time) Time {
 	for !e.events.empty() && e.events.peek().t <= deadline {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.popMin()
 		if ev.t > e.now {
 			e.flows.advance(ev.t)
 			e.now = ev.t
 		}
-		ev.fn()
+		e.dispatch(&ev)
 	}
 	if deadline > e.now {
 		e.flows.advance(deadline)
@@ -339,8 +465,9 @@ type flow struct {
 	remaining float64
 	rate      float64
 	p         *Proc
-	done      func() // alternative to waking a proc
-	traceID   int64  // nonzero only while a tracer is attached
+	done      func()  // alternative to waking a proc
+	fan       *fanout // TransferAll piece: decrement on completion
+	traceID   int64   // nonzero only while a tracer is attached
 
 	seq     int64      // insertion order; fixes allocation iteration order
 	comp    *component // owning component; nil once the flow finishes
@@ -349,6 +476,13 @@ type flow struct {
 	// resource: its rate is held at 0 and it is excluded from allocation
 	// until a recompute sees the capacity restored.
 	parked bool
+}
+
+// fanout tracks one TransferAll call: the count of in-flight pieces and
+// the process to wake when the last one drains. Pooled alongside flows.
+type fanout struct {
+	pending int
+	p       *Proc
 }
 
 type flowSet struct {
@@ -372,17 +506,63 @@ type flowSet struct {
 	comps       []*component // live components, creation order
 	dirtyComps  []*component
 	compScratch []*component // add() dedup scratch
+	solveList   []*component // processDirty scratch: components to water-fill
+
+	// Free lists for the hot-path structs; a flow (and its fan-out, if
+	// any) returns to the pool the instant it finishes.
+	flowPool []*flow
+	fanPool  []*fanout
+	finBuf   []*flow // completeAll scratch
 
 	// Reusable allocation scratch (see allocateRef / allocateFast).
-	scratch     map[*Resource]*resState // reference-path states
-	touched     []*Resource
-	heapBuf     shareHeap
-	fastHeapBuf fastHeap
-	solveGen    int64 // stamps resStates per solve
+	scratch  map[*Resource]*resState // reference-path states
+	touched  []*Resource
+	heapBuf  shareHeap
+	solveGen int64 // stamps resStates per solve
+
+	// Per-worker solver scratch and per-task sample buffers for parallel
+	// batches (see processDirty in components.go and parallel.go).
+	workerScratch []solveScratch
+	taskBufs      []taskBuf
+	nextBuf       []Time  // mergeNextCompletions scratch
+	workerTasks   []int64 // per-batch tasks-per-worker telemetry scratch
+	pstats        ParallelStats
 
 	// Reusable split() scratch.
 	ufParent []int32
 	splitGen int64 // stamps resState split scratch per attempt
+}
+
+// newFlow takes a flow from the pool (or allocates the pool's first use).
+func (fs *flowSet) newFlow() *flow {
+	if n := len(fs.flowPool); n > 0 {
+		f := fs.flowPool[n-1]
+		fs.flowPool = fs.flowPool[:n-1]
+		return f
+	}
+	return &flow{}
+}
+
+// freeFlow resets and recycles a finished flow. Callers must have dropped
+// every reference first (the flow is spliced out of active and component
+// lists before completion side effects run).
+func (fs *flowSet) freeFlow(f *flow) {
+	*f = flow{}
+	fs.flowPool = append(fs.flowPool, f)
+}
+
+func (fs *flowSet) newFanout() *fanout {
+	if n := len(fs.fanPool); n > 0 {
+		f := fs.fanPool[n-1]
+		fs.fanPool = fs.fanPool[:n-1]
+		return f
+	}
+	return &fanout{}
+}
+
+func (fs *flowSet) freeFanout(f *fanout) {
+	*f = fanout{}
+	fs.fanPool = append(fs.fanPool, f)
 }
 
 // traceFlowStart registers a new flow with the attached tracer.
@@ -394,13 +574,20 @@ func (fs *flowSet) traceFlowStart(f *flow, size float64) {
 }
 
 // advance progresses all active flows to time t at their current rates.
+// Large active sets are chunked across the worker pool — each flow's
+// update touches only that flow, so the result is independent of the
+// chunking.
 func (fs *flowSet) advance(t Time) {
 	dt := float64(t - fs.last)
 	if dt > 0 {
-		for _, f := range fs.active {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
+		if w := fs.e.workers; w > 1 && len(fs.active) >= parallelMinFlows {
+			fs.advanceParallel(dt, w)
+		} else {
+			for _, f := range fs.active {
+				f.remaining -= f.rate * dt
+				if f.remaining < 0 {
+					f.remaining = 0
+				}
 			}
 		}
 	}
@@ -417,7 +604,10 @@ func (p *Proc) Transfer(size float64, resources ...*Resource) {
 	}
 	e := p.e
 	e.flows.advance(e.now)
-	f := &flow{resources: resources, remaining: size, p: p}
+	f := e.flows.newFlow()
+	f.resources = resources
+	f.remaining = size
+	f.p = p
 	if e.tracer != nil {
 		e.flows.traceFlowStart(f, size)
 	}
@@ -435,7 +625,10 @@ func (e *Engine) StartTransfer(size float64, done func(), resources ...*Resource
 		return
 	}
 	e.flows.advance(e.now)
-	f := &flow{resources: resources, remaining: size, done: done}
+	f := e.flows.newFlow()
+	f.resources = resources
+	f.remaining = size
+	f.done = done
 	if e.tracer != nil {
 		e.flows.traceFlowStart(f, size)
 	}
@@ -453,7 +646,8 @@ type Flow struct {
 
 // TransferAll starts every flow concurrently and blocks the process until
 // all complete — the model of one I/O call fanned out across several
-// storage targets.
+// storage targets. The fan-out bookkeeping is a pooled counter rather
+// than per-piece closures.
 func (p *Proc) TransferAll(flows []Flow) {
 	pending := 0
 	for _, f := range flows {
@@ -465,16 +659,22 @@ func (p *Proc) TransferAll(flows []Flow) {
 		return
 	}
 	e := p.e
-	for _, f := range flows {
-		if f.Size <= 0 || len(f.Path) == 0 {
+	e.flows.advance(e.now)
+	fan := e.flows.newFanout()
+	fan.pending = pending
+	fan.p = p
+	for _, piece := range flows {
+		if piece.Size <= 0 || len(piece.Path) == 0 {
 			continue
 		}
-		e.StartTransfer(f.Size, func() {
-			pending--
-			if pending == 0 {
-				p.resume()
-			}
-		}, f.Path...)
+		f := e.flows.newFlow()
+		f.resources = piece.Path
+		f.remaining = piece.Size
+		f.fan = fan
+		if e.tracer != nil {
+			e.flows.traceFlowStart(f, piece.Size)
+		}
+		e.flows.add(f)
 	}
 	p.park()
 }

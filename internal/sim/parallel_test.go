@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// parScenario is a randomized workload wide enough to clear the parallel
+// fan-out gate: several resource-disjoint clusters (one component each),
+// every flow starting at the same instant so the first dirty batch carries
+// all of them, plus mid-run capacity swings that force full re-solves.
+type parScenario struct {
+	caps  [][3]float64 // per cluster: hub + two spokes
+	flows []parFlow
+}
+
+type parFlow struct {
+	cluster int
+	size    float64
+	spoke   int // -1 = hub only, else hub + that spoke
+}
+
+func makeParScenario(seed int64, clusters, flowsPer int) parScenario {
+	r := rand.New(rand.NewSource(seed))
+	sc := parScenario{caps: make([][3]float64, clusters)}
+	for c := range sc.caps {
+		for j := range sc.caps[c] {
+			sc.caps[c][j] = 50 + 950*r.Float64()
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		for i := 0; i < flowsPer; i++ {
+			sc.flows = append(sc.flows, parFlow{
+				cluster: c,
+				size:    1 + 5000*r.Float64(),
+				spoke:   r.Intn(3) - 1,
+			})
+		}
+	}
+	return sc
+}
+
+// run executes the scenario with the given worker cap and returns every
+// flow's completion time, the final clock, and the pool counters.
+func (sc parScenario) run(t *testing.T, workers int) ([]Time, Time, ParallelStats) {
+	t.Helper()
+	e := NewEngine()
+	e.SetWorkers(workers)
+	rs := make([][3]*Resource, len(sc.caps))
+	var all []*Resource
+	for c, caps := range sc.caps {
+		for j, cap := range caps {
+			rs[c][j] = NewResource("r", cap)
+			all = append(all, rs[c][j])
+		}
+	}
+	completed := make([]Time, len(sc.flows))
+	for i := range completed {
+		completed[i] = -1
+	}
+	e.At(0, func() {
+		for i, f := range sc.flows {
+			i := i
+			path := []*Resource{rs[f.cluster][0]}
+			if f.spoke >= 0 {
+				path = append(path, rs[f.cluster][1+f.spoke])
+			}
+			e.StartTransfer(f.size, func() { completed[i] = e.Now() }, path...)
+		}
+	})
+	// Degrade every cluster mid-run, then restore: two more full-width
+	// dirty batches over the whole active set.
+	e.At(5, func() {
+		for c := range rs {
+			for j := range rs[c] {
+				rs[c][j].Capacity = sc.caps[c][j] * 0.6
+			}
+		}
+		e.RecomputeResources(all...)
+	})
+	e.At(12, func() {
+		for c := range rs {
+			for j := range rs[c] {
+				rs[c][j].Capacity = sc.caps[c][j]
+			}
+		}
+		e.RecomputeResources(all...)
+	})
+	end := e.Run()
+	return completed, end, e.ParallelStats()
+}
+
+// The worker pool must be invisible in the results: a scenario wide enough
+// to fan out (more flows than parallelMinFlows, spread over many
+// components) completes every flow at exactly the same time — bit-for-bit
+// — at any worker count, and the pool must actually have run (Batches > 0)
+// when more than one worker is available.
+func TestParallelWorkersObservationallyIdentical(t *testing.T) {
+	const clusters = 6
+	flowsPer := parallelMinFlows/clusters + 40
+	sc := makeParScenario(7, clusters, flowsPer)
+
+	serial, serialEnd, serialPS := sc.run(t, 1)
+	if serialPS.Batches != 0 {
+		t.Fatalf("workers=1 used the pool: %+v", serialPS)
+	}
+	for i, ct := range serial {
+		if ct < 0 {
+			t.Fatalf("flow %d never completed in serial run", i)
+		}
+	}
+	workerCounts := []int{2, 8}
+	if !testing.Short() {
+		workerCounts = []int{2, 3, 8}
+	}
+	for _, w := range workerCounts {
+		par, parEnd, ps := sc.run(t, w)
+		if parEnd != serialEnd {
+			t.Fatalf("workers=%d: final clock %v != serial %v", w, parEnd, serialEnd)
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: flow %d completion %v != serial %v",
+					w, i, float64(par[i]), float64(serial[i]))
+			}
+		}
+		if ps.Batches == 0 {
+			t.Fatalf("workers=%d: pool never ran (%d flows across %d clusters)",
+				w, len(sc.flows), clusters)
+		}
+		if ps.MaxWorkers > w {
+			t.Fatalf("workers=%d: pool used %d workers", w, ps.MaxWorkers)
+		}
+	}
+}
+
+// A component must actually split when completions disconnect it, and the
+// surviving parts must be re-solved with their own capacity: two hub
+// resources joined by short-lived bridge flows, whose completion severs
+// the component and frees each side's bandwidth for its remaining flows.
+// Every rate in this topology is exactly representable, so completion
+// times are asserted with exact float equality.
+func TestComponentSplitRestoresRates(t *testing.T) {
+	e := NewEngine()
+	a := NewResource("a", 120)
+	b := NewResource("b", 120)
+	var t1, t2, t3 Time
+	bridgesDone := 0
+	e.At(0, func() {
+		// Water-fill at t=0: a carries 6 flows (fair share 20, the
+		// bottleneck), so f1, f2, and the four bridges run at 20; b's
+		// leftover 120-4*20 = 40 goes to f3.
+		e.StartTransfer(10000, func() { t1 = e.Now() }, a)
+		e.StartTransfer(10000, func() { t2 = e.Now() }, a)
+		e.StartTransfer(12200, func() { t3 = e.Now() }, b)
+		for i := 0; i < 4; i++ {
+			e.StartTransfer(100, func() { bridgesDone++ }, a, b)
+		}
+	})
+	// All four bridges complete together at t=5 (100 bytes at rate 20),
+	// shrinking the 7-flow component past the lazy split threshold; the
+	// split leaves {f1,f2} on a and {f3} on b.
+	e.At(50, func() {
+		if bridgesDone != 4 {
+			t.Errorf("at t=50: %d bridges done, want 4", bridgesDone)
+		}
+		if got := e.ActiveComponents(); got != 2 {
+			t.Errorf("at t=50: %d components, want 2 after the split", got)
+		}
+		s := e.AllocStats()
+		if s.Splits == 0 {
+			t.Error("at t=50: AllocStats.Splits = 0, want a recorded split")
+		}
+		if s.Merges == 0 {
+			t.Error("at t=50: AllocStats.Merges = 0, want bridge-driven merges")
+		}
+		// Post-split each side re-fills its own capacity: f1 and f2 share
+		// a at 60 each, f3 gets all of b.
+		if a.alloc != 120 || b.alloc != 120 {
+			t.Errorf("at t=50: alloc a=%v b=%v, want 120/120", a.alloc, b.alloc)
+		}
+	})
+	e.Run()
+	// f1/f2: 100 bytes by t=5, then 9900 at rate 60 → t=170.
+	// f3: 200 bytes by t=5, then 12000 at rate 120 → t=105.
+	if t1 != 170 || t2 != 170 {
+		t.Errorf("a-side completions t1=%v t2=%v, want 170 (rate 60 after split)", t1, t2)
+	}
+	if t3 != 105 {
+		t.Errorf("b-side completion t3=%v, want 105 (rate 120 after split)", t3)
+	}
+	if got := e.ActiveComponents(); got != 0 {
+		t.Errorf("after drain: %d live components, want 0", got)
+	}
+}
+
+// steadyEngine builds an engine with 4 components of 128 long-lived flows
+// each — the steady-state shape of the batch hot path.
+func steadyEngine() (*Engine, []*Resource) {
+	e := NewEngine()
+	e.SetDifferentialCheck(false) // the oracle allocates by design
+	var all []*Resource
+	for c := 0; c < 4; c++ {
+		hub := NewResource("hub", 1000)
+		spoke := NewResource("spoke", 800)
+		all = append(all, hub, spoke)
+		for i := 0; i < 128; i++ {
+			if i%2 == 0 {
+				e.StartTransfer(1e12, func() {}, hub, spoke)
+			} else {
+				e.StartTransfer(1e12, func() {}, hub)
+			}
+		}
+	}
+	e.RecomputeFlows() // fold the pending start batch; grows all scratch
+	return e, all
+}
+
+// The steady-state batch hot path must not allocate: once the engine's
+// scratch buffers have grown, a full dirty-batch solve of 512 flows runs
+// allocation-free. This is the regression bound for the pooled-scratch
+// refactor; the previous implementation allocated hundreds of objects per
+// batch (scratch maps, share-heap nodes, sample closures).
+func TestBatchSolveDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	e, all := steadyEngine()
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, r := range all {
+			r.Capacity *= 0.999
+		}
+		e.RecomputeResources(all...)
+	})
+	if allocs > 2 {
+		t.Errorf("batch solve of %d flows allocates %.1f objects/op, want ≤2", e.ActiveFlows(), allocs)
+	}
+}
+
+// BenchmarkBatchSolve measures the batch hot path — a full capacity-change
+// re-solve of 512 active flows across 4 components — with -benchmem
+// reporting allocs/op (expected ~0 in steady state).
+func BenchmarkBatchSolve(b *testing.B) {
+	e, all := steadyEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range all {
+			r.Capacity *= 0.999
+		}
+		e.RecomputeResources(all...)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// bounds are skipped under -race because its instrumentation allocates.
+const raceEnabled = false

@@ -23,6 +23,7 @@ const (
 	pidResources = 2
 	pidFlows     = 3
 	pidAllocator = 4
+	pidSolver    = 5
 )
 
 // chromeEvent is one entry of the trace-event array.
@@ -61,6 +62,9 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 	meta(pidFlows, "flows")
 	if len(r.allocSamples) > 0 {
 		meta(pidAllocator, "allocator")
+	}
+	if len(r.parallelSamples) > 0 {
+		meta(pidSolver, "solver-pool")
 	}
 	for i, tr := range r.tracks {
 		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Pid: pidTracks,
@@ -115,6 +119,24 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 		out = append(out, chromeEvent{Name: "alloc.flows_solved", Ph: "C",
 			Ts: usec(float64(s.t)), Pid: pidAllocator, Tid: 1,
 			Args: map[string]any{"cumulative": s.stats.FlowsSolved}})
+	}
+	// Worker-pool telemetry: the batch fan-out timeline plus one cumulative
+	// task counter per worker slot. Absent entirely in serial runs, so
+	// serial exports are unchanged.
+	cum := make([]int64, 0, 8)
+	for _, s := range r.parallelSamples {
+		out = append(out, chromeEvent{Name: "solver.batch", Ph: "C",
+			Ts: usec(float64(s.t)), Pid: pidSolver, Tid: 1,
+			Args: map[string]any{"workers": s.workers, "components": s.components, "flows": s.flows}})
+		for i, n := range s.perWorker {
+			for len(cum) <= i {
+				cum = append(cum, 0)
+			}
+			cum[i] += n
+			out = append(out, chromeEvent{Name: fmt.Sprintf("solver.w%d.tasks", i), Ph: "C",
+				Ts: usec(float64(s.t)), Pid: pidSolver, Tid: 1,
+				Args: map[string]any{"cumulative": cum[i]}})
+		}
 	}
 	return out
 }

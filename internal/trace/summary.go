@@ -58,6 +58,10 @@ type Summary struct {
 	// Alloc digests the allocator-counter timeline; nil when the engine
 	// recorded no allocator samples.
 	Alloc *AllocSummary `json:"alloc,omitempty"`
+	// Parallel digests the worker-pool timeline; nil when every batch ran
+	// serially. Host-execution telemetry: not comparable across runs or
+	// worker counts (see sim.ParallelTracer).
+	Parallel *ParallelSummary `json:"parallel,omitempty"`
 }
 
 // AllocSummary is the allocator block of a recording's digest: the final
@@ -68,6 +72,24 @@ type AllocSummary struct {
 	Samples int `json:"samples"`
 	// FinalComponents is the live component count at the last sample.
 	FinalComponents int `json:"final_components"`
+}
+
+// ParallelSummary is the worker-pool block of a recording's digest.
+type ParallelSummary struct {
+	// Batches is the number of dirty batches solved on the worker pool.
+	Batches int `json:"batches"`
+	// Components and Flows total the work those batches carried.
+	Components int64 `json:"components"`
+	Flows      int64 `json:"flows"`
+	// MaxWorkers is the widest fan-out any batch used.
+	MaxWorkers int `json:"max_workers"`
+	// TasksPerWorker is the cumulative component-task count per worker
+	// slot (slot 0 is the dispatcher goroutine).
+	TasksPerWorker []int64 `json:"tasks_per_worker"`
+	// MeanUtilization estimates worker-slot occupancy: per batch, the
+	// fraction of slots that would be busy if every component cost the
+	// same, averaged over batches.
+	MeanUtilization float64 `json:"mean_utilization"`
 }
 
 // percentile returns the q-quantile (0 < q ≤ 1) of sorted durations.
@@ -163,6 +185,27 @@ func (r *Recorder) Summarize(maxResources int) *Summary {
 		last := r.allocSamples[n-1]
 		s.Alloc = &AllocSummary{AllocStats: last.stats, Samples: n, FinalComponents: last.live}
 	}
+	if n := len(r.parallelSamples); n > 0 {
+		ps := &ParallelSummary{
+			Batches:        n,
+			TasksPerWorker: append([]int64(nil), r.workerTasks...),
+		}
+		util := 0.0
+		for _, smp := range r.parallelSamples {
+			ps.Components += int64(smp.components)
+			ps.Flows += int64(smp.flows)
+			if smp.workers > ps.MaxWorkers {
+				ps.MaxWorkers = smp.workers
+			}
+			// Slots busy in the last wave of an equal-cost schedule.
+			waves := (smp.components + smp.workers - 1) / smp.workers
+			if waves > 0 {
+				util += float64(smp.components) / float64(waves*smp.workers)
+			}
+		}
+		ps.MeanUtilization = util / float64(n)
+		s.Parallel = ps
+	}
 	return s
 }
 
@@ -190,5 +233,10 @@ func (s *Summary) Format(w io.Writer) {
 		a := s.Alloc
 		fmt.Fprintf(w, "allocator: %d batches, %d component solves (%d flows), %d merges, %d splits, peak %d components, %d parked\n",
 			a.Recomputes, a.ComponentsSolved, a.FlowsSolved, a.Merges, a.Splits, a.PeakComponents, a.ParkedFlows)
+	}
+	if s.Parallel != nil {
+		p := s.Parallel
+		fmt.Fprintf(w, "solver pool: %d parallel batches (%d components, %d flows), max %d workers, %.0f%% slot utilization, tasks/worker %v\n",
+			p.Batches, p.Components, p.Flows, p.MaxWorkers, p.MeanUtilization*100, p.TasksPerWorker)
 	}
 }

@@ -103,6 +103,18 @@ type allocSample struct {
 	live  int
 }
 
+// parallelSample is one point of the worker-pool timeline: the fan-out
+// width and work of one parallel batch. These are host-execution
+// telemetry — task placement is work-stealing — so the timeline is not
+// deterministic across runs and never feeds byte-compared output.
+type parallelSample struct {
+	t          sim.Time
+	workers    int
+	components int
+	flows      int
+	perWorker  []int64 // tasks each worker slot ran in this batch
+}
+
 // Recorder accumulates a simulation's trace. The zero value is not usable;
 // create one with New. A nil *Recorder is the disabled recorder: every
 // method no-ops after one nil check.
@@ -118,11 +130,19 @@ type Recorder struct {
 
 	allocSamples []allocSample // allocator-counter timeline (sim.AllocTracer)
 
+	// Worker-pool telemetry (sim.ParallelTracer): the batch timeline and
+	// cumulative tasks per worker slot.
+	parallelSamples []parallelSample
+	workerTasks     []int64
+
 	maxTime sim.Time // latest event time seen; clamps still-open spans
 }
 
-// The recorder implements the engine's extended allocator-tracing hook.
-var _ sim.AllocTracer = (*Recorder)(nil)
+// The recorder implements the engine's extended tracing hooks.
+var (
+	_ sim.AllocTracer    = (*Recorder)(nil)
+	_ sim.ParallelTracer = (*Recorder)(nil)
+)
 
 // New returns an empty enabled recorder.
 func New() *Recorder {
@@ -309,6 +329,28 @@ func (r *Recorder) AllocSample(t sim.Time, s sim.AllocStats, liveComponents int)
 		return
 	}
 	r.allocSamples = append(r.allocSamples, allocSample{t: t, stats: s, live: liveComponents})
+}
+
+// ParallelSample records one worker-pool batch (sim.ParallelTracer hook):
+// its fan-out width, task and flow counts, and the per-worker task split.
+// perWorker is engine scratch and is accumulated, not retained.
+func (r *Recorder) ParallelSample(t sim.Time, workers, components, flows int, perWorker []int64) {
+	if r == nil {
+		return
+	}
+	r.note(t)
+	r.parallelSamples = append(r.parallelSamples, parallelSample{
+		t: t, workers: workers, components: components, flows: flows,
+		perWorker: append([]int64(nil), perWorker...),
+	})
+	if len(r.workerTasks) < len(perWorker) {
+		grown := make([]int64, len(perWorker))
+		copy(grown, r.workerTasks)
+		r.workerTasks = grown
+	}
+	for i, n := range perWorker {
+		r.workerTasks[i] += n
+	}
 }
 
 // Events returns the total number of recorded track events (spans and
