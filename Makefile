@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke
+.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke meta-smoke
 
 all: check
 
@@ -16,13 +16,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full CI gate: compile, static checks, race-enabled tests, chaos gate.
-check: build vet race chaos-smoke
+# The full CI gate: compile, static checks, race-enabled tests, chaos gates.
+check: build vet race chaos-smoke meta-smoke
 
 # Every figure workload under seeded fault injection with all invariant
 # sweeps; exits non-zero on any violation.
 chaos-smoke:
 	$(GO) run -race ./cmd/univibench -chaos-smoke -quick
+
+# Metadata-plane chaos gate: a 3-shard, R=3 plane under metacrash faults
+# (every shard's leader crashed mid-run, one with a recovery window),
+# across three seeds. univistor-sim exits 1 on any invariant violation —
+# including the plane's no-lost-committed-record and coverage checks.
+meta-smoke:
+	for seed in 1 2 3; do \
+		$(GO) run ./cmd/univistor-sim -procs 16 -ranks-per-node 8 -mb 16 -seg-mb 4 \
+			-read -meta-shards 3 -meta-replicas 3 \
+			-chaos "seed=$$seed,check=0.2,horizon=3,metacrash=0@0.05+0.4,metacrash=1@0.1,metacrash=2@0.15+0.5" \
+			> /dev/null || exit 1; \
+	done
+	@echo "meta-smoke: all invariants held across 3 seeds"
 
 # Quick paper-figure benchmark sweep.
 bench:
@@ -30,7 +43,7 @@ bench:
 
 # Wall-clock comparison of the incremental vs global flow allocator over
 # the quick figure sweeps. Override the output with PERF_OUT=path.
-PERF_OUT ?= BENCH_PR6.json
+PERF_OUT ?= BENCH_PR7.json
 bench-perf:
 	$(GO) run ./cmd/univibench -quick -perf -out $(PERF_OUT)
 

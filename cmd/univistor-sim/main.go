@@ -22,6 +22,7 @@ import (
 	"univistor/internal/dataelevator"
 	"univistor/internal/lustre"
 	"univistor/internal/meta"
+	"univistor/internal/metaplane"
 	"univistor/internal/mpi"
 	"univistor/internal/mpiio"
 	"univistor/internal/schedule"
@@ -47,6 +48,13 @@ type Output struct {
 
 	// Stats is the full core counter snapshot (univistor driver only).
 	Stats *core.Stats `json:"stats,omitempty"`
+	// MetaOps breaks the metadata record operations down by kind and by
+	// serving store — per metadata server in ring mode, per shard with
+	// -meta-shards (univistor driver only).
+	MetaOps *core.MetaOpDetail `json:"meta_op_detail,omitempty"`
+	// MetaPlane is the sharded metadata plane's counter snapshot, present
+	// only with -meta-shards.
+	MetaPlane *metaplane.Stats `json:"metaplane,omitempty"`
 	// Alloc is the engine's cumulative flow-allocator counters.
 	Alloc *sim.AllocStats `json:"alloc,omitempty"`
 	// TraceSummary digests the recorded spans when -trace is given.
@@ -61,23 +69,30 @@ type Output struct {
 
 func main() {
 	var (
-		procs   = flag.Int("procs", 64, "client process count")
-		perNode = flag.Int("ranks-per-node", 32, "ranks per compute node")
-		mb      = flag.Int64("mb", 256, "MiB written per process")
-		segMB   = flag.Int64("seg-mb", 32, "MiB per write call")
-		driver  = flag.String("driver", "univistor", "univistor | dataelevator | lustre")
-		tiers   = flag.String("tiers", "dram,bb", "univistor cache tiers: dram,ssd,bb,object (empty = straight to PFS)")
-		doRead  = flag.Bool("read", false, "read the data back and report read rate")
-		doFlush = flag.Bool("flush", false, "flush to the PFS and report flush rate")
-		noIA    = flag.Bool("no-ia", false, "disable interference-aware scheduling")
-		noCOC   = flag.Bool("no-coc", false, "disable collective open/close")
-		noADPT  = flag.Bool("no-adpt", false, "disable adaptive striping")
+		procs      = flag.Int("procs", 64, "client process count")
+		perNode    = flag.Int("ranks-per-node", 32, "ranks per compute node")
+		mb         = flag.Int64("mb", 256, "MiB written per process")
+		segMB      = flag.Int64("seg-mb", 32, "MiB per write call")
+		driver     = flag.String("driver", "univistor", "univistor | dataelevator | lustre")
+		tiers      = flag.String("tiers", "dram,bb", "univistor cache tiers: dram,ssd,bb,object (empty = straight to PFS)")
+		doRead     = flag.Bool("read", false, "read the data back and report read rate")
+		doFlush    = flag.Bool("flush", false, "flush to the PFS and report flush rate")
+		noIA       = flag.Bool("no-ia", false, "disable interference-aware scheduling")
+		noCOC      = flag.Bool("no-coc", false, "disable collective open/close")
+		noADPT     = flag.Bool("no-adpt", false, "disable adaptive striping")
+		metaShards = flag.Int("meta-shards", 0,
+			"run the metadata service as this many replicated shards (0 = legacy single ring; univistor driver only)")
+		metaReplicas = flag.Int("meta-replicas", 1,
+			"replication factor per metadata shard (requires -meta-shards)")
 		traceTo = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this path")
 		chaosIn = flag.String("chaos", "", "chaos spec, e.g. seed=1,check=0.5,crash=0@2 (univistor driver only; exits 1 on invariant violations)")
 		alloc   = flag.String("alloc", "", "flow allocator: incremental (default) | global (also settable via UNIVISTOR_SIM_ALLOC)")
 		workers = flag.Int("workers", 0, "solver worker pool size (0 = runtime.NumCPU(), also settable via UNIVISTOR_SIM_WORKERS; results are byte-identical at any value)")
 	)
 	flag.Parse()
+	if *metaReplicas > 1 && *metaShards == 0 {
+		fatal("-meta-replicas requires -meta-shards")
+	}
 
 	tc := topology.Cori()
 	nodes := (*procs + *perNode - 1) / *perNode
@@ -125,6 +140,10 @@ func main() {
 		cc.CollectiveOpenClose = !*noCOC
 		cc.AdaptiveStriping = !*noADPT
 		cc.FlushOnClose = *doFlush
+		cc.MetaShards = *metaShards
+		if *metaShards > 0 {
+			cc.MetaReplicas = *metaReplicas
+		}
 		cc.CacheTiers = nil
 		for _, tok := range strings.Split(*tiers, ",") {
 			switch strings.TrimSpace(tok) {
@@ -258,6 +277,12 @@ func main() {
 	if uv != nil {
 		st := uv.Sys.Stats()
 		out.Stats = &st
+		d := uv.Sys.MetaOpDetail()
+		out.MetaOps = &d
+		if pl := uv.Sys.Plane(); pl != nil {
+			pst := pl.Stats()
+			out.MetaPlane = &pst
+		}
 	}
 	as := e.AllocStats()
 	out.Alloc = &as

@@ -6,7 +6,9 @@ package bench
 // to the historical global solver) and across worker counts, so the only
 // thing that differs is how long the host takes to produce them — which
 // is exactly what this file measures and writes to the -out report
-// (BENCH_PR6.json by default).
+// (BENCH_PR7.json by default). The report also embeds the figmeta
+// metadata-plane scaling figure (ops/s and p99 stat latency vs shard
+// count) so the sweep's artifact carries the PR7 scaling data.
 
 import (
 	"encoding/json"
@@ -38,7 +40,7 @@ type PerfFigure struct {
 	Alloc sim.AllocStats `json:"alloc"`
 }
 
-// PerfReport is the perf-mode output document (BENCH_PR6.json).
+// PerfReport is the perf-mode output document (BENCH_PR7.json).
 type PerfReport struct {
 	// Benchmark names the measurement series.
 	Benchmark string `json:"benchmark"`
@@ -53,6 +55,9 @@ type PerfReport struct {
 	LargestSweep string `json:"largest_sweep"`
 	// HeadlineSpeedup is the speedup of the largest sweep.
 	HeadlineSpeedup float64 `json:"headline_speedup"`
+	// MetaScaling is the figmeta metadata-plane scaling figure (virtual-time
+	// ops/s and p99 stat latency per shard count at R=1 and R=3).
+	MetaScaling *Result `json:"meta_scaling,omitempty"`
 }
 
 // DefaultPerfFigures are the sweeps the perf mode times when none are
@@ -100,7 +105,7 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 	if workers <= 0 {
 		workers = sim.NewEngine().Workers()
 	}
-	rep := &PerfReport{Benchmark: "BENCH_PR6", Quick: quick, Workers: workers}
+	rep := &PerfReport{Benchmark: "BENCH_PR7", Quick: quick, Workers: workers}
 	say := func(format string, args ...any) {
 		if progress != nil {
 			fmt.Fprintf(progress, format+"\n", args...)
@@ -177,6 +182,12 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 			rep.HeadlineSpeedup = pf.Speedup
 		}
 	}
+	// The metadata-plane scaling sweep: pure virtual-time data (no
+	// allocator involvement), run once and embedded in the artifact.
+	mo := o
+	mo.Verbose = false
+	rep.MetaScaling = FigMeta(mo)
+	say("perf figmeta: metadata scaling embedded (%d series)", len(rep.MetaScaling.Series))
 	return rep, nil
 }
 

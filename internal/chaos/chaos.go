@@ -191,6 +191,24 @@ func (h *Harness) fire(f Fault) {
 		for _, b := range cl.BB {
 			h.degrade(b.BW, 0, f.Dur)
 		}
+	case KindMetaCrash:
+		// MetaCrashLeader refuses when no plane is configured, the shard is
+		// unknown, or the crash would kill the shard's last alive replica;
+		// it runs the transition sweep itself on success.
+		ridx, ok := h.sys.MetaCrashLeader(f.Index)
+		if !ok {
+			skip("no metadata plane, unknown shard, or last alive replica")
+			return
+		}
+		h.record("injected " + f.String())
+		if f.Dur > 0 {
+			h.e.After(f.Dur, func() {
+				if h.sys.MetaRecover(f.Index, ridx) {
+					h.tr.Instant(h.e.Now(), string(trace.CatChaos),
+						fmt.Sprintf("metarecover:shard%d/replica%d", f.Index, ridx))
+				}
+			})
+		}
 	}
 }
 

@@ -218,3 +218,167 @@ func TestSkippedOutOfRangeFaults(t *testing.T) {
 func contains(s, sub string) bool {
 	return bytes.Contains([]byte(s), []byte(sub))
 }
+
+// runMetaCrashScenario is the plane-mode variant of runCrashScenario: the
+// metadata service runs as 3 shards × the given replication factor, the
+// workload is the same two-rank cross-read, and the system is returned so
+// tests can inspect plane statistics after the run.
+func runMetaCrashScenario(t *testing.T, specStr string, replicas int) (Report, []crashOutcome, *core.System) {
+	t.Helper()
+	tc := topology.Cori()
+	tc.Nodes = 2
+	tc.CoresPerNode = 8
+	tc.SocketsPerNode = 2
+	tc.DRAMPerNode = 64 * mib
+	tc.BBNodes = 2
+	tc.BBCapPerNode = 256 * mib
+	tc.BBStripeSize = 1 * mib
+	tc.OSTs = 8
+	tc.OSTCapacity = 1 << 40
+	cc := core.DefaultConfig()
+	cc.ChunkSize = 1 * mib
+	cc.MetaRangeSize = 16 * mib
+	cc.FlushOnClose = true
+	cc.MetaShards = 3
+	cc.MetaReplicas = replicas
+
+	e := sim.NewEngine()
+	w := mpi.NewWorld(e, topology.New(e, tc), schedule.InterferenceAware)
+	sys, err := core.NewSystem(w, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(specStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Arm(sys, spec)
+
+	block := func(rank int) []byte {
+		return bytes.Repeat([]byte{byte('A' + rank)}, int(4*mib))
+	}
+	outcomes := make([]crashOutcome, 2)
+	app := w.Launch("app", 2, func(r *mpi.Rank) {
+		c := sys.Connect(r)
+		f, err := c.Open("f", core.WriteOnly)
+		if err != nil {
+			t.Errorf("rank %d open: %v", r.Rank(), err)
+			return
+		}
+		base := int64(r.Rank()) * 4 * mib
+		data := block(r.Rank())
+		for i := int64(0); i < 4; i++ {
+			if err := f.WriteAt(base+i*mib, 1*mib, data[i*mib:(i+1)*mib]); err != nil {
+				t.Errorf("rank %d write: %v", r.Rank(), err)
+			}
+		}
+		f.Close()
+		sys.WaitFlush(r.P, "f")
+		r.Barrier()
+		r.Compute(1.0)
+		other := 1 - r.Rank()
+		rf, err := c.Open("f", core.ReadOnly)
+		if err != nil {
+			t.Errorf("rank %d read open: %v", r.Rank(), err)
+			return
+		}
+		got, err := rf.ReadAt(int64(other)*4*mib, 4*mib)
+		out := crashOutcome{Rank: r.Rank()}
+		switch {
+		case errors.Is(err, core.ErrDataLost):
+			out.Got = "lost"
+		case err != nil:
+			out.Got = err.Error()
+		case bytes.Equal(got, block(other)):
+			out.Got = "ok"
+		default:
+			out.Got = "WRONG BYTES"
+		}
+		outcomes[r.Rank()] = out
+		rf.Close()
+		c.Disconnect()
+	}, mpi.LaunchOpts{RanksPerNode: 1})
+	e.Go("janitor", func(p *sim.Proc) {
+		app.Wait(p)
+		sys.Shutdown()
+	})
+	e.Run()
+	if d := e.Deadlocked(); d != 0 {
+		t.Fatalf("%d processes deadlocked", d)
+	}
+	return h.Finish(), outcomes, sys
+}
+
+// TestMetaCrashFailoverKeepsInvariants crashes every shard's leader mid-run
+// (one with a recovery window) under R=3. Every read must still return the
+// exact written bytes, no committed record may be lost (the plane's ledger
+// invariant runs at each transition sweep), and the plane must report the
+// failovers and the one recovery.
+func TestMetaCrashFailoverKeepsInvariants(t *testing.T) {
+	rep, outcomes, sys := runMetaCrashScenario(t,
+		"seed=2,check=0.1,horizon=2,metacrash=0@0.4+0.5,metacrash=1@0.5,metacrash=2@0.6", 3)
+	for _, o := range outcomes {
+		if o.Got != "ok" {
+			t.Errorf("rank %d outcome = %q under metacrash, want ok", o.Rank, o.Got)
+		}
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("invariant violations under metacrash: %v", rep.Violations)
+	}
+	if len(rep.Faults) != 3 {
+		t.Fatalf("faults = %v, want the 3 metacrash injections", rep.Faults)
+	}
+	for _, f := range rep.Faults {
+		if !contains(f, "injected metacrash=") {
+			t.Errorf("fault %q not an injected metacrash", f)
+		}
+	}
+	st := sys.Plane().Stats()
+	if st.Failovers != 3 {
+		t.Errorf("plane failovers = %d, want 3", st.Failovers)
+	}
+	if st.Recoveries != 1 {
+		t.Errorf("plane recoveries = %d, want 1 (only shard 0 had a window)", st.Recoveries)
+	}
+}
+
+// TestMetaCrashDeterministic: same plane-mode spec twice, byte-identical
+// reports and outcomes.
+func TestMetaCrashDeterministic(t *testing.T) {
+	spec := "seed=7,check=0.1,horizon=2,metacrash=1@0.5+0.3,metacrash=2@0.8"
+	repA, outA, _ := runMetaCrashScenario(t, spec, 3)
+	repB, outB, _ := runMetaCrashScenario(t, spec, 3)
+	if !reflect.DeepEqual(repA, repB) {
+		t.Errorf("reports differ:\n%+v\n%+v", repA, repB)
+	}
+	if !reflect.DeepEqual(outA, outB) {
+		t.Errorf("outcomes differ: %v != %v", outA, outB)
+	}
+}
+
+// TestMetaCrashSkips: without a plane (legacy ring mode), with an unknown
+// shard, or when the crash would kill a shard's last alive replica (R=1),
+// the fault is recorded as skipped — never a panic or a violation.
+func TestMetaCrashSkips(t *testing.T) {
+	rep, _, _ := runCrashScenario(t, "seed=1,metacrash=0@0.5", true)
+	if len(rep.Faults) != 1 || !contains(rep.Faults[0], "skipped") {
+		t.Errorf("legacy-mode metacrash not skipped: %v", rep.Faults)
+	}
+	rep2, outcomes, _ := runMetaCrashScenario(t, "seed=1,metacrash=99@0.5,metacrash=0@0.6", 1)
+	if len(rep2.Faults) != 2 {
+		t.Fatalf("faults = %v, want 2 skipped entries", rep2.Faults)
+	}
+	for _, f := range rep2.Faults {
+		if !contains(f, "skipped") {
+			t.Errorf("fault %q not marked skipped (unknown shard / last replica)", f)
+		}
+	}
+	for _, o := range outcomes {
+		if o.Got != "ok" {
+			t.Errorf("rank %d outcome = %q with all metacrashes skipped", o.Rank, o.Got)
+		}
+	}
+	if len(rep2.Violations) != 0 {
+		t.Errorf("violations: %v", rep2.Violations)
+	}
+}

@@ -31,6 +31,11 @@ const (
 	KindDegrade = "degrade"
 	// KindBBOutage degrades every burst-buffer service node at once.
 	KindBBOutage = "bboutage"
+	// KindMetaCrash crashes the metadata plane's leader of one shard,
+	// forcing election and WAL-replay failover; with a window the crashed
+	// replica recovers (catch-up or snapshot install) after it. Requires
+	// MetaShards > 0; skipped otherwise.
+	KindMetaCrash = "metacrash"
 )
 
 // Degradable resource classes.
@@ -94,6 +99,11 @@ func (f Fault) String() string {
 			return fmt.Sprintf("bboutage@%s+%s", ftoa(float64(f.At)), ftoa(float64(f.Dur)))
 		}
 		return fmt.Sprintf("bboutage@%s", ftoa(float64(f.At)))
+	case KindMetaCrash:
+		if f.Dur > 0 {
+			return fmt.Sprintf("metacrash=%d@%s+%s", f.Index, ftoa(float64(f.At)), ftoa(float64(f.Dur)))
+		}
+		return fmt.Sprintf("metacrash=%d@%s", f.Index, ftoa(float64(f.At)))
 	}
 	return "?" + f.Kind
 }
@@ -150,6 +160,8 @@ func (s Spec) String() string {
 //	crash=NODE@wN              fail node NODE after the N-th write completes
 //	buddy=NODE@T               fail NODE and its replica buddy at T
 //	stall=SRV@T+D              freeze server SRV's metadata service for D
+//	metacrash=SHARD@T[+D]      crash metadata-plane shard SHARD's leader at T
+//	                           (failover); recover the replica after D
 //	degrade=nic:I:F@T[+D]      cut node I's NIC to fraction F at T (for D)
 //	degrade=ost:I:F@T[+D]      cut OST I's bandwidth to fraction F
 //	degrade=bb:I:F@T[+D]       cut BB node I's bandwidth to fraction F
@@ -179,7 +191,7 @@ func Parse(s string) (Spec, error) {
 			var v int64
 			v, err = parseInt(key, val, hasVal)
 			spec.Rand = int(v)
-		case "crash", "buddy", "stall":
+		case "crash", "buddy", "stall", "metacrash":
 			var f Fault
 			f, err = parseTargeted(key, val, hasVal)
 			spec.Faults = append(spec.Faults, f)
@@ -236,8 +248,8 @@ func parseFloat(key, val string, hasVal bool) (float64, error) {
 	return v, nil
 }
 
-// parseTargeted handles crash=NODE@T, crash=NODE@wN, buddy=NODE@T, and
-// stall=SRV@T+D.
+// parseTargeted handles crash=NODE@T, crash=NODE@wN, buddy=NODE@T,
+// stall=SRV@T+D, and metacrash=SHARD@T[+D].
 func parseTargeted(kind, val string, hasVal bool) (Fault, error) {
 	if !hasVal {
 		return Fault{}, fmt.Errorf("chaos: %s needs a value", kind)

@@ -21,6 +21,8 @@ func TestParseRoundTrip(t *testing.T) {
 		"seed=1,degrade=fabric:0.5@2+2",
 		"seed=1,bboutage@3",
 		"seed=1,bboutage@3+1.5",
+		"seed=1,metacrash=0@2",
+		"seed=1,metacrash=2@1.5+0.75",
 	}
 	for _, s := range specs {
 		spec, err := Parse(s)
@@ -81,11 +83,13 @@ func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"seed=abc",
 		"frobnicate=1",
-		"crash=0",           // missing @TIME
-		"crash=x@1",         // bad target
-		"crash=0@w0",        // write trigger must be positive
-		"stall=0@1",         // stall needs a window
-		"stall=0@1+0",       // empty window
+		"crash=0",             // missing @TIME
+		"crash=x@1",           // bad target
+		"crash=0@w0",          // write trigger must be positive
+		"metacrash=0",         // missing @TIME
+		"metacrash=0@w5",      // write triggers are crash-only
+		"stall=0@1",           // stall needs a window
+		"stall=0@1+0",         // empty window
 		"degrade=nic:0:1.5@1", // fraction outside (0,1]
 		"degrade=nic:0:0@1",   // zero fraction
 		"degrade=nope:0:0.5@1",
@@ -117,12 +121,14 @@ func TestParseDegradeZeroPointsAtOutage(t *testing.T) {
 
 func TestFaultStringCanonical(t *testing.T) {
 	cases := map[string]Fault{
-		"crash=1@2.5":             {Kind: KindCrash, Index: 1, At: 2.5},
-		"crash=0@w10":             {Kind: KindCrash, Index: 0, AfterWrites: 10},
-		"stall=2@1+0.5":           {Kind: KindStall, Index: 2, At: 1, Dur: 0.5},
-		"degrade=fabric:0.5@2+2":  {Kind: KindDegrade, Resource: ResFabric, Frac: 0.5, At: 2, Dur: 2},
-		"degrade=nic:3:0.25@4":    {Kind: KindDegrade, Resource: ResNIC, Index: 3, Frac: 0.25, At: 4},
-		"bboutage@3+1":            {Kind: KindBBOutage, At: 3, Dur: 1},
+		"crash=1@2.5":            {Kind: KindCrash, Index: 1, At: 2.5},
+		"crash=0@w10":            {Kind: KindCrash, Index: 0, AfterWrites: 10},
+		"stall=2@1+0.5":          {Kind: KindStall, Index: 2, At: 1, Dur: 0.5},
+		"degrade=fabric:0.5@2+2": {Kind: KindDegrade, Resource: ResFabric, Frac: 0.5, At: 2, Dur: 2},
+		"degrade=nic:3:0.25@4":   {Kind: KindDegrade, Resource: ResNIC, Index: 3, Frac: 0.25, At: 4},
+		"bboutage@3+1":           {Kind: KindBBOutage, At: 3, Dur: 1},
+		"metacrash=1@2":          {Kind: KindMetaCrash, Index: 1, At: 2},
+		"metacrash=0@1.5+0.5":    {Kind: KindMetaCrash, Index: 0, At: 1.5, Dur: 0.5},
 	}
 	for want, f := range cases {
 		if got := f.String(); got != want {

@@ -116,6 +116,31 @@ type Config struct {
 	// baseline of §II-B3, kept for the ablation benchmark.
 	CentralMetadata bool
 
+	// MetaShards, when positive, replaces the legacy single logical
+	// metadata ring with the sharded, replicated metadata plane
+	// (internal/metaplane): MetaShards replication groups over a
+	// consistent-hash keyspace. Zero (the default) keeps the ring — the
+	// baseline every paper figure is generated against.
+	MetaShards int
+
+	// MetaReplicas is the replication factor of each metadata shard
+	// (leader + MetaReplicas-1 followers). Meaningful only with
+	// MetaShards > 0; zero defaults to 1 (unreplicated shards).
+	MetaReplicas int
+
+	// MetaApplyTime is a metadata follower's service time to append one
+	// shipped WAL entry; zero defaults to half of MetaOpTime.
+	MetaApplyTime float64
+
+	// MetaSnapshotEvery is the retained-WAL-entry threshold at which a
+	// metadata replica compacts its log into a snapshot (the metaplane
+	// default when zero).
+	MetaSnapshotEvery int
+
+	// MetaRecordLatencies retains per-op metadata-plane latency samples
+	// for benchmark percentiles (costs memory; off for figure runs).
+	MetaRecordLatencies bool
+
 	// StripeAllLockEff is the extent-lock efficiency of the shared flush
 	// file under the conventional stripe-all layout (adaptive flush writes
 	// stripe-aligned disjoint ranges and pays no lock penalty).
@@ -186,6 +211,20 @@ func (c Config) Validate() error {
 	case "", "adaptive", "eq5", "stripe-all":
 	default:
 		return fmt.Errorf("core: unknown FlushStripingOverride %q", c.FlushStripingOverride)
+	}
+	switch {
+	case c.MetaShards < 0:
+		return fmt.Errorf("core: MetaShards must be non-negative, got %d", c.MetaShards)
+	case c.MetaReplicas < 0:
+		return fmt.Errorf("core: MetaReplicas must be non-negative, got %d", c.MetaReplicas)
+	case c.MetaApplyTime < 0:
+		return fmt.Errorf("core: MetaApplyTime must be non-negative, got %v", c.MetaApplyTime)
+	case c.MetaSnapshotEvery < 0:
+		return fmt.Errorf("core: MetaSnapshotEvery must be non-negative, got %d", c.MetaSnapshotEvery)
+	case c.MetaShards > 0 && c.CentralMetadata:
+		return fmt.Errorf("core: MetaShards and CentralMetadata are mutually exclusive")
+	case c.MetaShards == 0 && c.MetaReplicas > 1:
+		return fmt.Errorf("core: MetaReplicas requires MetaShards > 0")
 	}
 	seen := map[meta.Tier]bool{}
 	for _, t := range c.CacheTiers {

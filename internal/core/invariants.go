@@ -36,6 +36,11 @@ func (sys *System) CheckInvariants() []string {
 	out = append(out, sys.checkLogs()...)
 	out = append(out, sys.checkMetadataCoverage()...)
 	out = append(out, sys.checkStatsCoherence()...)
+	if sys.plane != nil {
+		for _, v := range sys.plane.CheckInvariants() {
+			out = append(out, "metaplane "+v)
+		}
+	}
 	out = append(out, sys.W.E.CheckFlowConservation(1e-6)...)
 	return out
 }
@@ -185,7 +190,7 @@ func (sys *System) checkMetadataCoverage() []string {
 		// instant is that the non-overlapping bytes the ring resolves equal
 		// the bytes the write path recorded net of exact-key rewrites: a
 		// record lost anywhere (interior or tail) breaks the equality.
-		recs, _ := sys.ring.Covering(fs.fid, 0, fs.logicalSize)
+		recs := sys.metaCoveringFree(fs.fid, 0, fs.logicalSize)
 		cur := int64(0)
 		covered := int64(0)
 		for _, rec := range recs {

@@ -1,0 +1,181 @@
+package core
+
+// Metadata-service routing: every Put/Get/Covering/Delete of the write,
+// read, placement, and flush paths goes through the helpers here, which
+// dispatch to either the legacy single logical ring (the default; the
+// paper figures depend on its exact costs) or the sharded, replicated
+// metadata plane of internal/metaplane when Config.MetaShards is set.
+// The helpers also feed the MetaOpDetail counters univistor-sim surfaces.
+
+import (
+	"fmt"
+
+	"univistor/internal/meta"
+	"univistor/internal/metaplane"
+	"univistor/internal/sim"
+	"univistor/internal/trace"
+)
+
+// MetaOpDetail breaks metadata record operations down by kind and by
+// serving store: per metadata server in ring mode, per shard in plane
+// mode. Only client-path operations count — cost-free invariant sweeps
+// and flush planning do not.
+type MetaOpDetail struct {
+	Puts      int64 `json:"puts"`
+	Gets      int64 `json:"gets"`
+	Coverings int64 `json:"coverings"`
+	Deletes   int64 `json:"deletes"`
+	// PerServer is indexed by metadata server (ring mode) or shard id
+	// (plane mode) and counts the charged ops each served.
+	PerServer []int64 `json:"per_server"`
+}
+
+func (d *MetaOpDetail) bump(idx int) {
+	for len(d.PerServer) <= idx {
+		d.PerServer = append(d.PerServer, 0)
+	}
+	d.PerServer[idx]++
+}
+
+// MetaOpDetail returns a snapshot of the metadata-op breakdown.
+func (sys *System) MetaOpDetail() MetaOpDetail {
+	d := sys.metaDetail
+	d.PerServer = append([]int64(nil), sys.metaDetail.PerServer...)
+	return d
+}
+
+// Plane exposes the metadata plane (nil in legacy ring mode).
+func (sys *System) Plane() *metaplane.Plane { return sys.plane }
+
+// metaPut inserts a record through the metadata service, charging one
+// client round trip, and reports the exact-key record it replaced (the
+// rewrite check rides inside the same round trip on both paths).
+func (sys *System) metaPut(p *sim.Proc, fromNode int, rec meta.Record) (prev meta.Record, replaced bool) {
+	sys.metaDetail.Puts++
+	if sys.plane != nil {
+		prev, replaced = sys.plane.GetLocal(rec.FID, rec.Offset)
+		sp := sys.W.Trace.Begin(p, trace.CatMetaPlane, "plane-put")
+		shard := sys.plane.Put(p, fromNode, rec)
+		sp.End(p.Now())
+		sys.stats.MetaOps++
+		sys.metaDetail.bump(shard)
+		return prev, replaced
+	}
+	srv := sys.ring.HomeServer(rec.Offset)
+	sys.chargeMetaOp(p, fromNode, sys.metaServer(srv))
+	prev, replaced = sys.ring.Get(rec.FID, rec.Offset)
+	sys.ring.Put(rec)
+	sys.metaDetail.bump(srv)
+	return prev, replaced
+}
+
+// metaCovering resolves the records overlapping [off, off+size) without
+// charging time — the charged per-server round trips follow separately via
+// metaChargeLookup, exactly as the read path batches them. The returned
+// index set is metadata servers (ring mode) or shard ids (plane mode).
+func (sys *System) metaCovering(fid meta.FileID, off, size int64) ([]meta.Record, []int) {
+	sys.metaDetail.Coverings++
+	if sys.plane != nil {
+		return sys.plane.CoveringLocal(fid, off, size)
+	}
+	return sys.ring.Covering(fid, off, size)
+}
+
+// metaCoveringFree resolves records for internal planning and invariant
+// sweeps: no time, no counters.
+func (sys *System) metaCoveringFree(fid meta.FileID, off, size int64) []meta.Record {
+	if sys.plane != nil {
+		recs, _ := sys.plane.CoveringLocal(fid, off, size)
+		return recs
+	}
+	recs, _ := sys.ring.Covering(fid, off, size)
+	return recs
+}
+
+// metaChargeLookup charges one read-side metadata round trip against the
+// given server (ring mode) or shard (plane mode).
+func (sys *System) metaChargeLookup(p *sim.Proc, fromNode, idx int) {
+	sys.metaDetail.Gets++
+	sys.metaDetail.bump(idx)
+	if sys.plane != nil {
+		sp := sys.W.Trace.Begin(p, trace.CatMetaPlane, "plane-lookup")
+		sys.plane.Lookup(p, fromNode, idx)
+		sp.End(p.Now())
+		sys.stats.MetaOps++
+		return
+	}
+	sys.chargeMetaOp(p, fromNode, sys.metaServer(idx))
+}
+
+// metaDelete removes one record. In ring mode the store op itself is free
+// (the legacy Delete path charges a single round trip for the whole range,
+// at its call site); in plane mode every delete is a replicated commit.
+func (sys *System) metaDelete(p *sim.Proc, fromNode int, fid meta.FileID, off int64) bool {
+	sys.metaDetail.Deletes++
+	if sys.plane != nil {
+		sp := sys.W.Trace.Begin(p, trace.CatMetaPlane, "plane-delete")
+		existed, shard := sys.plane.Delete(p, fromNode, fid, off)
+		sp.End(p.Now())
+		sys.stats.MetaOps++
+		sys.metaDetail.bump(shard)
+		return existed
+	}
+	sys.metaDetail.bump(sys.ring.HomeServer(off))
+	return sys.ring.Delete(fid, off)
+}
+
+// metaRepoint rewrites a record's placement (promotion re-point). The
+// legacy path does this for free inside the promotion; the plane commits
+// it through the WAL like any other mutation.
+func (sys *System) metaRepoint(p *sim.Proc, fromNode int, rec meta.Record) {
+	if sys.plane != nil {
+		sp := sys.W.Trace.Begin(p, trace.CatMetaPlane, "plane-repoint")
+		shard := sys.plane.Put(p, fromNode, rec)
+		sp.End(p.Now())
+		sys.stats.MetaOps++
+		sys.metaDetail.Puts++
+		sys.metaDetail.bump(shard)
+		return
+	}
+	sys.ring.Put(rec)
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (chaos `metacrash`).
+
+// MetaCrashLeader crashes the metadata plane's current leader of the given
+// shard: the group elects the longest-log survivor, which replays its
+// unapplied WAL suffix before serving. Returns the crashed replica index
+// for later recovery. ok is false when no plane is configured, the shard
+// is unknown, or the crash would kill the last alive replica.
+func (sys *System) MetaCrashLeader(shard int) (replica int, ok bool) {
+	if sys.plane == nil {
+		return -1, false
+	}
+	replica, ok = sys.plane.CrashLeader(shard)
+	if ok {
+		sys.explain = append(sys.explain, fmt.Sprintf(
+			"metacrash: shard %d leader (replica %d) crashed; failed over", shard, replica))
+		if sys.InvariantCheck != nil {
+			sys.InvariantCheck("metacrash")
+		}
+	}
+	return replica, ok
+}
+
+// MetaRecover restarts a crashed metadata replica and catches it up from
+// the current leader (WAL suffix or snapshot install).
+func (sys *System) MetaRecover(shard, replica int) bool {
+	if sys.plane == nil {
+		return false
+	}
+	ok := sys.plane.Recover(shard, replica)
+	if ok {
+		sys.explain = append(sys.explain, fmt.Sprintf(
+			"metarecover: shard %d replica %d recovered", shard, replica))
+		if sys.InvariantCheck != nil {
+			sys.InvariantCheck("metarecover")
+		}
+	}
+	return ok
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"univistor/internal/mpi"
+	"univistor/internal/topology"
+)
+
+// planeEnv is testEnv with the sharded metadata plane enabled.
+func planeEnv(t *testing.T, shards, replicas int) (*mpi.World, *System) {
+	return testEnv(t, func(tc *topology.Config, cc *Config) {
+		cc.MetaShards = shards
+		cc.MetaReplicas = replicas
+	})
+}
+
+// TestPlaneModeWriteReadRoundTrip runs the full write → close → read path
+// with the metadata plane on (3 shards × 3 replicas): bytes round-trip
+// exactly, every invariant (including the plane's committed-record ledger)
+// holds at shutdown, and the op counters surface the traffic.
+func TestPlaneModeWriteReadRoundTrip(t *testing.T) {
+	w, sys := planeEnv(t, 3, 3)
+	payload := bytes.Repeat([]byte("p"), int(2*mib))
+	var got []byte
+	runApp(t, w, sys, 2, 1, func(c *Client) {
+		f, err := c.Open("f", WriteOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		base := int64(c.Rank().Rank()) * 2 * mib
+		if err := f.WriteAt(base, 2*mib, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		f.Close()
+		c.Rank().Barrier()
+		// Open is collective: both ranks reopen, each reads the other's block.
+		rf, err := c.Open("f", ReadOnly)
+		if err != nil {
+			t.Errorf("open read: %v", err)
+			return
+		}
+		other := int64(1-c.Rank().Rank()) * 2 * mib
+		data, err := rf.ReadAt(other, 2*mib)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if c.Rank().Rank() == 1 {
+			got = data
+		}
+		rf.Close()
+	})
+	if !bytes.Equal(got, payload) {
+		t.Error("read-back mismatch through the metadata plane")
+	}
+	if v := sys.CheckInvariants(); len(v) != 0 {
+		t.Errorf("invariant violations in plane mode: %v", v)
+	}
+	if sys.Plane() == nil {
+		t.Fatal("Plane() = nil with MetaShards set")
+	}
+	st := sys.Plane().Stats()
+	if st.Shards != 3 || st.Replicas != 3 {
+		t.Errorf("plane shape = %d×%d, want 3×3", st.Shards, st.Replicas)
+	}
+	if st.Puts == 0 {
+		t.Error("plane served no puts despite the writes")
+	}
+	d := sys.MetaOpDetail()
+	if d.Puts == 0 || d.Gets == 0 {
+		t.Errorf("MetaOpDetail = %+v, want non-zero puts and gets", d)
+	}
+	var per int64
+	for _, n := range d.PerServer {
+		per += n
+	}
+	if per == 0 {
+		t.Error("per-shard op counts all zero")
+	}
+	if sys.Stats().MetaOps == 0 {
+		t.Error("Stats.MetaOps = 0 in plane mode")
+	}
+}
+
+// TestPlaneModeDeleteAndRewrite exercises the mutation paths that commit
+// through the WAL: an exact-key rewrite and a range delete, both of which
+// must leave the coverage and ledger invariants intact.
+func TestPlaneModeDeleteAndRewrite(t *testing.T) {
+	w, sys := planeEnv(t, 2, 3)
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f, err := c.Open("f", WriteOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := int64(0); i < 4; i++ {
+			if err := f.WriteAt(i*mib, 1*mib, nil); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+		// Exact-key rewrite of segment 1.
+		if err := f.WriteAt(1*mib, 1*mib, nil); err != nil {
+			t.Errorf("rewrite: %v", err)
+		}
+		// Whole-segment delete of segment 2.
+		if n, err := f.Delete(2*mib, 1*mib); err != nil || n != 1 {
+			t.Errorf("delete = (%d, %v), want (1, nil)", n, err)
+		}
+		f.Close()
+	})
+	if v := sys.CheckInvariants(); len(v) != 0 {
+		t.Errorf("invariant violations after rewrite+delete: %v", v)
+	}
+	d := sys.MetaOpDetail()
+	if d.Deletes != 1 {
+		t.Errorf("deletes = %d, want 1", d.Deletes)
+	}
+	if d.Puts != 5 {
+		t.Errorf("puts = %d, want 5 (4 writes + 1 rewrite)", d.Puts)
+	}
+}
+
+// TestLegacyModeMetaOpDetail: with the plane off, the same counters track
+// the single logical ring, indexed by metadata server.
+func TestLegacyModeMetaOpDetail(t *testing.T) {
+	w, sys := testEnv(t, nil)
+	runApp(t, w, sys, 1, 1, func(c *Client) {
+		f, err := c.Open("f", WriteOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := f.WriteAt(0, 1*mib, nil); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		f.Close()
+	})
+	if sys.Plane() != nil {
+		t.Fatal("Plane() non-nil with MetaShards unset")
+	}
+	if d := sys.MetaOpDetail(); d.Puts != 1 {
+		t.Errorf("legacy puts = %d, want 1", d.Puts)
+	}
+	if ridx, ok := sys.MetaCrashLeader(0); ok || ridx != -1 {
+		t.Errorf("MetaCrashLeader without a plane = (%d, %v), want (-1, false)", ridx, ok)
+	}
+}
+
+// TestConfigMetaValidation rejects contradictory metadata-service configs.
+func TestConfigMetaValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.MetaShards = -1 },
+		func(c *Config) { c.MetaReplicas = -1 },
+		func(c *Config) { c.MetaShards = 2; c.CentralMetadata = true },
+		func(c *Config) { c.MetaReplicas = 3 }, // replicas without shards
+	}
+	for i, mutate := range bad {
+		cc := DefaultConfig()
+		mutate(&cc)
+		if err := cc.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a contradictory meta config", i)
+		}
+	}
+	ok := DefaultConfig()
+	ok.MetaShards = 4
+	ok.MetaReplicas = 3
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plane config rejected: %v", err)
+	}
+}

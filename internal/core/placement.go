@@ -92,7 +92,7 @@ func (sys *System) promoteSegment(p *sim.Proc, fs *fileState, rec meta.Record, p
 
 	// Re-point the metadata at the promoted copy.
 	rec.VA = newVA
-	sys.ring.Put(rec)
+	sys.metaRepoint(p, prodNode, rec)
 	sys.nodeMeta[prodNode].Put(rec)
 
 	// Pending-flush accounting follows the bytes.
@@ -130,7 +130,7 @@ func (cf *ClientFile) Delete(off, size int64) (int, error) {
 	}
 	sys := cf.c.sys
 	fs := cf.fs
-	recs, _ := sys.ring.Covering(fs.fid, off, size)
+	recs := sys.metaCoveringFree(fs.fid, off, size)
 	removed := 0
 	for _, rec := range recs {
 		if rec.Offset < off || rec.Offset+rec.Size > off+size {
@@ -151,16 +151,22 @@ func (cf *ClientFile) Delete(off, size int64) (int, error) {
 		for slot := firstFull; slot <= lastFull; slot++ {
 			log.Punch(slot)
 		}
-		sys.ring.Delete(rec.FID, rec.Offset)
+		sys.metaDelete(cf.c.rank.P, cf.c.rank.Node(), rec.FID, rec.Offset)
 		sys.nodeMeta[producer.c.rank.Node()].Delete(rec.Key())
+		// The deleted bytes leave the resolvable set, like an exact-key
+		// rewrite — the coverage invariant reconciles against this ledger.
+		fs.overwritten += rec.Size
 		if byTier := fs.cached[producer.c.server.GlobalIdx]; byTier != nil && byTier[tier] >= rec.Size {
 			byTier[tier] -= rec.Size
 			fs.cachedTotal -= rec.Size
 		}
 		removed++
 	}
-	// One metadata round-trip for the whole range delete.
-	sys.chargeMetaOp(cf.c.rank.P, cf.c.rank.Node(), sys.metaServer(sys.ring.HomeServer(off)))
+	// One metadata round-trip for the whole range delete (plane mode pays
+	// per-record replicated commits above instead).
+	if sys.plane == nil {
+		sys.chargeMetaOp(cf.c.rank.P, cf.c.rank.Node(), sys.metaServer(sys.ring.HomeServer(off)))
+	}
 	return removed, nil
 }
 

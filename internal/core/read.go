@@ -56,11 +56,11 @@ func (cf *ClientFile) ReadAt(off, size int64) ([]byte, error) {
 	var remoteRecs []meta.Record
 	contacted := map[int]bool{}
 	for _, gap := range remainder {
-		recs, servers := sys.ring.Covering(fs.fid, gap.off, gap.size)
+		recs, servers := sys.metaCovering(fs.fid, gap.off, gap.size)
 		for _, srv := range servers {
 			if !contacted[srv] {
 				contacted[srv] = true
-				sys.chargeMetaOp(p, node, sys.metaServer(srv))
+				sys.metaChargeLookup(p, node, srv)
 			}
 		}
 		remoteRecs = append(remoteRecs, recs...)

@@ -10,6 +10,7 @@ import (
 	"univistor/internal/kvstore"
 	"univistor/internal/lustre"
 	"univistor/internal/meta"
+	"univistor/internal/metaplane"
 	"univistor/internal/mpi"
 	"univistor/internal/sim"
 	"univistor/internal/striping"
@@ -32,6 +33,12 @@ type System struct {
 	servers    []*Server
 	serverComm *mpi.Comm
 	ring       *kvstore.Ring
+	// plane, when non-nil, is the sharded replicated metadata service that
+	// replaces the ring's role on every client path (Cfg.MetaShards > 0).
+	// The ring is still built — invariant code and tools may inspect it —
+	// but holds no records in plane mode.
+	plane      *metaplane.Plane
+	metaDetail MetaOpDetail
 	nodeMeta   []*kvstore.Store // per-node shared metadata buffer (§II-B4)
 	chain      *tier.Chain      // the ordered storage hierarchy, terminal last
 	explain    []string         // deployment decisions (dropped tiers, …)
@@ -190,6 +197,42 @@ func NewSystem(w *mpi.World, cfg Config) (*System, error) {
 		ringServers = 1
 	}
 	sys.ring = kvstore.NewRing(ringServers, cfg.MetaRangeSize)
+	if cfg.MetaShards > 0 {
+		replicas := cfg.MetaReplicas
+		if replicas <= 0 {
+			replicas = 1
+		}
+		sys.Cfg.MetaReplicas = replicas
+		apply := cfg.MetaApplyTime
+		if apply <= 0 {
+			apply = cfg.MetaOpTime / 2
+		}
+		pl, err := metaplane.New(metaplane.Config{
+			Shards:          cfg.MetaShards,
+			Replicas:        replicas,
+			Nodes:           nNodes,
+			RangeSize:       cfg.MetaRangeSize,
+			SnapshotEvery:   cfg.MetaSnapshotEvery,
+			Seed:            424242,
+			RecordLatencies: cfg.MetaRecordLatencies,
+			Costs: metaplane.Costs{
+				NetLatency: w.Cluster.Cfg.NetLatency,
+				ShmLatency: cfg.ShmLatency,
+				OpTime:     cfg.MetaOpTime,
+				ApplyTime:  apply,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.plane = pl
+		if w.Trace.Enabled() {
+			pl.Sampler = w.Trace.MetaSample
+		}
+		sys.explain = append(sys.explain, fmt.Sprintf(
+			"metadata plane: %d shards × %d replicas across %d nodes",
+			cfg.MetaShards, replicas, nNodes))
+	}
 	for n := 0; n < nNodes; n++ {
 		sys.nodeMeta = append(sys.nodeMeta, kvstore.NewStore(int64(7000+n)))
 	}
@@ -431,7 +474,7 @@ func (sys *System) triggerFlush(p *sim.Proc, fs *fileState) {
 	// Segments grouped by their producer's server, in logical-offset order
 	// (the ring returns them sorted) — the order each server drains its
 	// range in, which fixes where every segment's flushed copy lands.
-	recs, _ := sys.ring.Covering(fs.fid, 0, fs.logicalSize)
+	recs := sys.metaCoveringFree(fs.fid, 0, fs.logicalSize)
 	recsByServer := map[int][]meta.Record{}
 	for _, rec := range recs {
 		if pf := fs.procFiles[rec.Proc]; pf != nil {

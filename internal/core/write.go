@@ -72,15 +72,12 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 
 	// Metadata record: logical offset → (source proc, VA).
 	rec := meta.Record{FID: cf.fs.fid, Offset: off, Size: size, Proc: c.globalID, VA: va}
-	ringIdx := sys.ring.HomeServer(off)
-	sys.chargeMetaOp(p, c.rank.Node(), sys.metaServer(ringIdx))
-	if prev, ok := sys.ring.Get(cf.fs.fid, off); ok {
+	if prev, ok := sys.metaPut(p, c.rank.Node(), rec); ok {
 		// Exact-key rewrite: the replaced record's bytes leave the
 		// resolvable set (tracked so the coverage invariant can reconcile
-		// the ring against the written-bytes ledger).
+		// the metadata service against the written-bytes ledger).
 		cf.fs.overwritten += prev.Size
 	}
-	sys.ring.Put(rec)
 	// Shared metadata buffer on the producing node (§II-B4): free local
 	// lookup for locally generated segments.
 	sys.nodeMeta[c.rank.Node()].Put(rec)

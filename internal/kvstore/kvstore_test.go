@@ -207,6 +207,90 @@ func TestRingCoveringNoMatch(t *testing.T) {
 	}
 }
 
+// Covering a range that spans several servers with interior gaps: only the
+// stored segments come back (in offset order), and the contacted-server set
+// covers every partition of the query, empty ones included — the caller
+// charges a round trip per contacted server, gap or not.
+func TestRingCoveringMultiServerWithGaps(t *testing.T) {
+	r := NewRing(3, 100)
+	// Partitions 0..5 map to servers 0,1,2,0,1,2. Populate partitions 0, 2,
+	// and 5; leave 1, 3, 4 as gaps.
+	r.Put(rec(1, 10, 40, 0))  // partition 0, server 0
+	r.Put(rec(1, 220, 30, 1)) // partition 2, server 2
+	r.Put(rec(1, 550, 20, 2)) // partition 5, server 2
+	recs, servers := r.Covering(1, 0, 600)
+	if len(recs) != 3 || recs[0].Offset != 10 || recs[1].Offset != 220 || recs[2].Offset != 550 {
+		t.Fatalf("Covering = %+v, want the 3 stored segments in order", recs)
+	}
+	if len(servers) != 3 {
+		t.Errorf("servers = %v, want all 3 servers of the 6-partition span", servers)
+	}
+	for i := 1; i < len(servers); i++ {
+		if servers[i-1] >= servers[i] {
+			t.Errorf("servers %v not strictly ascending", servers)
+		}
+	}
+	// A sub-query covering only empty partitions returns nothing but still
+	// reports the servers it had to ask.
+	recs, servers = r.Covering(1, 300, 200) // partitions 3 and 4
+	if len(recs) != 0 {
+		t.Errorf("gap query returned %+v", recs)
+	}
+	if len(servers) != 2 {
+		t.Errorf("gap query contacted %v, want the 2 owning servers", servers)
+	}
+}
+
+// Delete routes by the key's home partition: deleting an offset that is
+// covered by a straddling record (whose key lives one partition back, on a
+// different server) must NOT remove the straddler — only an exact key on
+// its own home server deletes.
+func TestRingDeleteNonHomeKey(t *testing.T) {
+	r := NewRing(3, 100)
+	r.Put(rec(1, 90, 50, 1)) // key 90 on server 0; bytes extend into partition 1
+	if r.Delete(1, 120) {    // offset 120's home is server 1, no key there
+		t.Error("Delete(120) removed something on the non-home server")
+	}
+	if recs, _ := r.Covering(1, 100, 40); len(recs) != 1 || recs[0].Offset != 90 {
+		t.Fatalf("straddler gone after non-home delete: %+v", recs)
+	}
+	if !r.Delete(1, 90) {
+		t.Error("Delete of the exact home key failed")
+	}
+	if recs, _ := r.Covering(1, 100, 40); len(recs) != 0 {
+		t.Errorf("straddler survived exact-key delete: %+v", recs)
+	}
+}
+
+// Put of the same (fid, offset) key is an in-place overwrite, however many
+// times it happens: the count stays 1, the latest payload wins, and
+// Covering resolves the latest size.
+func TestRingPutOverwriteAcrossRewrites(t *testing.T) {
+	r := NewRing(4, 100)
+	home := r.Put(rec(1, 250, 30, 0))
+	for i := 1; i <= 5; i++ {
+		size := int64(30 + i) // grow within the partition bound
+		rc := rec(1, 250, size, i)
+		if srv := r.Put(rc); srv != home {
+			t.Errorf("rewrite %d routed to server %d, want home %d", i, srv, home)
+		}
+		if r.Total() != 1 {
+			t.Fatalf("rewrite %d: Total = %d, want 1", i, r.Total())
+		}
+		got, ok := r.Get(1, 250)
+		if !ok || got.Proc != i || got.Size != size {
+			t.Fatalf("rewrite %d: Get = %+v, %v", i, got, ok)
+		}
+	}
+	recs, _ := r.Covering(1, 280, 10) // only the grown record reaches 280+
+	if len(recs) != 1 || recs[0].Size != 35 || recs[0].Proc != 5 {
+		t.Errorf("Covering after rewrites = %+v, want the final 35-byte record", recs)
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: for random non-overlapping segment layouts, Covering returns
 // exactly the segments overlapping the query (validated against a brute
 // force scan), provided segments don't exceed the partition range size.

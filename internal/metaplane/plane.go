@@ -1,0 +1,651 @@
+package metaplane
+
+import (
+	"fmt"
+	"sort"
+
+	"univistor/internal/kvstore"
+	"univistor/internal/meta"
+	"univistor/internal/sim"
+)
+
+// DefaultSnapshotEvery is the retained-WAL-entry threshold at which a
+// replica compacts its log into a snapshot.
+const DefaultSnapshotEvery = 256
+
+// Costs are the analytic service parameters of one metadata operation,
+// mirroring the core servers' M/D/1-style model.
+type Costs struct {
+	// NetLatency / ShmLatency: client→leader transport, by co-location.
+	NetLatency float64
+	ShmLatency float64
+	// OpTime is the leader's service time per operation (record op).
+	OpTime float64
+	// ApplyTime is a follower's service time to append one shipped entry.
+	ApplyTime float64
+}
+
+// Config shapes a metadata plane.
+type Config struct {
+	Shards   int // initial shard (replication group) count
+	Replicas int // replicas per shard (leader + Replicas-1 followers)
+	Nodes    int // cluster nodes replicas are placed on, round-robin
+
+	// RangeSize is the offset-range granularity records are sharded at —
+	// the same granularity as the legacy partitioner, and like it bounds
+	// the largest single record a Covering query can resolve.
+	RangeSize int64
+
+	// VirtualNodes per shard on the hash ring (DefaultVirtualNodes if 0).
+	VirtualNodes int
+
+	// SnapshotEvery is the retained-log-length compaction threshold
+	// (DefaultSnapshotEvery if 0).
+	SnapshotEvery int
+
+	// Seed derives the replica stores' skiplist seeds.
+	Seed int64
+
+	// RecordLatencies retains per-op commit/stat latency samples for the
+	// benchmark percentiles (off for figure runs to keep memory flat).
+	RecordLatencies bool
+
+	Costs Costs
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Shards <= 0:
+		return fmt.Errorf("metaplane: Shards must be positive, got %d", c.Shards)
+	case c.Replicas <= 0:
+		return fmt.Errorf("metaplane: Replicas must be positive, got %d", c.Replicas)
+	case c.Nodes <= 0:
+		return fmt.Errorf("metaplane: Nodes must be positive, got %d", c.Nodes)
+	case c.RangeSize <= 0:
+		return fmt.Errorf("metaplane: RangeSize must be positive, got %d", c.RangeSize)
+	case c.Costs.NetLatency < 0 || c.Costs.ShmLatency < 0 ||
+		c.Costs.OpTime < 0 || c.Costs.ApplyTime < 0:
+		return fmt.Errorf("metaplane: costs must be non-negative")
+	}
+	return nil
+}
+
+// Sampler observes the cumulative per-shard op counts after each charged
+// operation — the hook the tracer's per-shard counter track attaches to.
+// shards and ops are parallel slices ordered by shard id; the slices are
+// reused across calls and must not be retained.
+type Sampler func(t sim.Time, shards []int, ops []int64)
+
+// Plane is the sharded, replicated metadata service.
+type Plane struct {
+	cfg  Config
+	ring *HashRing
+
+	groups map[int]*group
+	order  []int // active shard ids, ascending
+
+	nextShard int   // next shard id to mint (monotonic across membership)
+	seedCtr   int64 // deterministic store-seed counter (snapshot installs)
+
+	// Sampler, when set, is called after every charged op.
+	Sampler Sampler
+
+	puts, deletes, lookups      int64
+	failovers, recoveries       int64
+	snapshotInstalls, handoffs  int64
+	retiredOps, retiredAppended int64
+	retiredSnapshots            int64
+	latPut, latStat             []float64
+	sampleShards                []int
+	sampleOps                   []int64
+}
+
+// New builds a plane of cfg.Shards replication groups, each with
+// cfg.Replicas replicas placed round-robin across cfg.Nodes nodes.
+func New(cfg Config) (*Plane, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	pl := &Plane{
+		cfg:    cfg,
+		ring:   NewHashRing(nil, cfg.VirtualNodes),
+		groups: map[int]*group{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		pl.addGroup()
+	}
+	return pl, nil
+}
+
+// addGroup mints the next shard id, builds its replication group, and adds
+// it to the hash ring. Replica k of shard s lives on node (s*R+k) mod N.
+func (pl *Plane) addGroup() *group {
+	id := pl.nextShard
+	pl.nextShard++
+	g := &group{id: id, ledger: map[meta.Key]bool{}}
+	for k := 0; k < pl.cfg.Replicas; k++ {
+		pl.seedCtr++
+		g.replicas = append(g.replicas, &replica{
+			shard: id,
+			idx:   k,
+			node:  (id*pl.cfg.Replicas + k) % pl.cfg.Nodes,
+			store: kvstore.NewStore(pl.cfg.Seed + 9000 + pl.seedCtr),
+		})
+	}
+	pl.groups[id] = g
+	pl.order = append(pl.order, id)
+	sort.Ints(pl.order)
+	pl.ring.AddShard(id)
+	return g
+}
+
+// Shards returns the active shard count.
+func (pl *Plane) Shards() int { return len(pl.order) }
+
+// ShardIDs returns the active shard ids, ascending.
+func (pl *Plane) ShardIDs() []int { return append([]int(nil), pl.order...) }
+
+// Replicas returns the per-shard replica count.
+func (pl *Plane) Replicas() int { return pl.cfg.Replicas }
+
+// ShardFor returns the shard owning the record range containing (fid,
+// offset).
+func (pl *Plane) ShardFor(fid meta.FileID, offset int64) int {
+	return pl.ring.Owner(KeyHash(fid, offset/pl.cfg.RangeSize))
+}
+
+// LeaderOf reports shard's current leader replica index and its node.
+func (pl *Plane) LeaderOf(shard int) (replicaIdx, node int, ok bool) {
+	g, found := pl.groups[shard]
+	if !found {
+		return 0, 0, false
+	}
+	return g.leader, g.lead().node, true
+}
+
+// ---------------------------------------------------------------------------
+// Charged operations (advance the virtual clock).
+
+// Put replicates a record insert through its shard's group and returns the
+// shard id. The caller sleeps until the op commits.
+func (pl *Plane) Put(p *sim.Proc, fromNode int, rec meta.Record) int {
+	shard := pl.ShardFor(rec.FID, rec.Offset)
+	d := pl.propose(p, fromNode, pl.groups[shard], OpPut, rec)
+	pl.puts++
+	if pl.cfg.RecordLatencies {
+		pl.latPut = append(pl.latPut, float64(d))
+	}
+	return shard
+}
+
+// Delete replicates removal of the record keyed exactly by (fid, offset),
+// reporting whether it existed, and returns the shard id.
+func (pl *Plane) Delete(p *sim.Proc, fromNode int, fid meta.FileID, offset int64) (existed bool, shard int) {
+	shard = pl.ShardFor(fid, offset)
+	g := pl.groups[shard]
+	_, existed = g.lead().store.Get(meta.Key{FID: fid, Offset: offset})
+	d := pl.propose(p, fromNode, g, OpDelete,
+		meta.Record{FID: fid, Offset: offset})
+	pl.deletes++
+	if pl.cfg.RecordLatencies {
+		pl.latPut = append(pl.latPut, float64(d))
+	}
+	return existed, shard
+}
+
+// Stat is a charged exact-key lookup at the owning shard's leader.
+func (pl *Plane) Stat(p *sim.Proc, fromNode int, fid meta.FileID, offset int64) (meta.Record, bool) {
+	shard := pl.ShardFor(fid, offset)
+	g := pl.groups[shard]
+	d := pl.chargeRead(p, fromNode, g)
+	pl.lookups++
+	if pl.cfg.RecordLatencies {
+		pl.latStat = append(pl.latStat, float64(d))
+	}
+	return g.lead().store.Get(meta.Key{FID: fid, Offset: offset})
+}
+
+// Lookup charges one read-side round trip against a shard's leader — the
+// read path's per-contacted-shard cost after a cost-free CoveringLocal.
+func (pl *Plane) Lookup(p *sim.Proc, fromNode, shard int) {
+	g, ok := pl.groups[shard]
+	if !ok {
+		panic(fmt.Sprintf("metaplane: Lookup on unknown shard %d", shard))
+	}
+	d := pl.chargeRead(p, fromNode, g)
+	pl.lookups++
+	if pl.cfg.RecordLatencies {
+		pl.latStat = append(pl.latStat, float64(d))
+	}
+}
+
+// propose runs the replicated-commit protocol for one mutation: transport
+// to the leader, serialized leader service + WAL append, log shipping to
+// every alive follower, commit once the leader plus a majority-completing
+// set of follower acks are durable, and the reply hop back. The proposing
+// process sleeps to the reply time. With crashed replicas the group
+// commits on the acks of all alive followers if they are fewer than a
+// majority — the sim crashes replicas but never partitions them, so
+// availability wins (and recovery catches the replica up from the WAL).
+func (pl *Plane) propose(p *sim.Proc, fromNode int, g *group, kind OpKind, rec meta.Record) sim.Time {
+	t0 := p.Now()
+	ld := g.lead()
+	c := pl.cfg.Costs
+	lat := c.NetLatency
+	if ld.node == fromNode {
+		lat = c.ShmLatency
+	}
+	arrival := t0 + sim.Time(lat)
+	start := arrival
+	if ld.opsFree > start {
+		start = ld.opsFree
+	}
+	ld.opsFree = start + sim.Time(c.OpTime)
+	tAppend := ld.opsFree
+
+	e := Entry{Index: ld.log.lastIndex() + 1, Kind: kind, Rec: rec}
+	ld.log.append(e)
+	g.appended++
+	acks := g.ship(e, tAppend, c)
+
+	// Majority of the full replica set = leader + ⌊R/2⌋ follower acks.
+	need := len(g.replicas) / 2
+	if need > len(acks) {
+		need = len(acks)
+	}
+	done := tAppend
+	if need > 0 && acks[need-1] > done {
+		done = acks[need-1]
+	}
+	respond := done + sim.Time(lat)
+
+	g.commitEntry(e, pl.cfg.SnapshotEvery)
+	g.ops++
+	pl.sample(respond)
+	p.Sleep(float64(respond - t0))
+	return respond - t0
+}
+
+// chargeRead serializes one read round trip on the shard leader.
+func (pl *Plane) chargeRead(p *sim.Proc, fromNode int, g *group) sim.Time {
+	t0 := p.Now()
+	ld := g.lead()
+	c := pl.cfg.Costs
+	lat := c.NetLatency
+	if ld.node == fromNode {
+		lat = c.ShmLatency
+	}
+	arrival := t0 + sim.Time(lat)
+	start := arrival
+	if ld.opsFree > start {
+		start = ld.opsFree
+	}
+	ld.opsFree = start + sim.Time(c.OpTime)
+	respond := ld.opsFree + sim.Time(lat)
+	g.ops++
+	pl.sample(respond)
+	p.Sleep(float64(respond - t0))
+	return respond - t0
+}
+
+// sample feeds the cumulative per-shard op counts to the Sampler hook.
+func (pl *Plane) sample(t sim.Time) {
+	if pl.Sampler == nil {
+		return
+	}
+	pl.sampleShards = pl.sampleShards[:0]
+	pl.sampleOps = pl.sampleOps[:0]
+	for _, id := range pl.order {
+		pl.sampleShards = append(pl.sampleShards, id)
+		pl.sampleOps = append(pl.sampleOps, pl.groups[id].ops)
+	}
+	pl.Sampler(t, pl.sampleShards, pl.sampleOps)
+}
+
+// ---------------------------------------------------------------------------
+// Cost-free local views (invariant sweeps, flush planning).
+
+// GetLocal reads the record keyed exactly by (fid, offset) from the owning
+// leader's store without charging time.
+func (pl *Plane) GetLocal(fid meta.FileID, offset int64) (meta.Record, bool) {
+	g := pl.groups[pl.ShardFor(fid, offset)]
+	return g.lead().store.Get(meta.Key{FID: fid, Offset: offset})
+}
+
+// CoveringLocal returns, in offset order, every record of the file
+// overlapping [offset, offset+size) and the ascending set of shards that a
+// charged query would contact. Like the legacy ring it relies on record
+// sizes being bounded by RangeSize, so a record straddling into the query
+// starts at most one partition range back.
+func (pl *Plane) CoveringLocal(fid meta.FileID, offset, size int64) ([]meta.Record, []int) {
+	if size <= 0 {
+		return nil, nil
+	}
+	rs := pl.cfg.RangeSize
+	var recs []meta.Record
+	seen := map[meta.Key]bool{}
+	shardSeen := map[int]bool{}
+	var shards []int
+	touch := func(shard int) {
+		if !shardSeen[shard] {
+			shardSeen[shard] = true
+			shards = append(shards, shard)
+		}
+	}
+	for off := offset; off < offset+size; {
+		partEnd := (off/rs + 1) * rs
+		if end := offset + size; partEnd > end {
+			partEnd = end
+		}
+		shard := pl.ShardFor(fid, off)
+		touch(shard)
+		st := pl.groups[shard].lead().store
+		// A record starting earlier in this partition may cover the head.
+		if prev, ok := st.Floor(meta.Key{FID: fid, Offset: off}); ok &&
+			prev.FID == fid && prev.Offset+prev.Size > off && !seen[prev.Key()] {
+			seen[prev.Key()] = true
+			recs = append(recs, prev)
+		}
+		st.Scan(meta.Key{FID: fid, Offset: off}, meta.Key{FID: fid, Offset: partEnd},
+			func(rec meta.Record) bool {
+				if rec.Offset+rec.Size > offset && rec.Offset < offset+size && !seen[rec.Key()] {
+					seen[rec.Key()] = true
+					recs = append(recs, rec)
+				}
+				return true
+			})
+		off = partEnd
+	}
+	// A record straddling the query's first partition boundary lives on the
+	// shard owning the previous range.
+	if partStart := (offset / rs) * rs; partStart > 0 {
+		shard := pl.ShardFor(fid, partStart-1)
+		st := pl.groups[shard].lead().store
+		if prev, ok := st.Floor(meta.Key{FID: fid, Offset: partStart - 1}); ok &&
+			prev.FID == fid && prev.Offset+prev.Size > offset && !seen[prev.Key()] {
+			seen[prev.Key()] = true
+			recs = append(recs, prev)
+			touch(shard)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key().Less(recs[j].Key()) })
+	sort.Ints(shards)
+	return recs, shards
+}
+
+// Total returns the committed record count across all shards.
+func (pl *Plane) Total() int {
+	n := 0
+	for _, id := range pl.order {
+		n += pl.groups[id].lead().store.Len()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and recovery.
+
+// CrashLeader crashes shard's current leader and fails the group over to
+// the alive replica with the longest WAL (replaying its unapplied suffix).
+// It refuses — returning ok=false — when the shard is unknown or fewer
+// than two replicas are alive (the last copy must not be lost).
+func (pl *Plane) CrashLeader(shard int) (crashedReplica int, ok bool) {
+	g, found := pl.groups[shard]
+	if !found || len(g.alive()) < 2 {
+		return -1, false
+	}
+	old := g.leader
+	g.replicas[old].crashed = true
+	g.electLeader()
+	pl.failovers++
+	return old, true
+}
+
+// Recover restarts a crashed replica and catches it up from the current
+// leader: the WAL suffix when the leader still retains it, otherwise a
+// full snapshot install followed by the live suffix.
+func (pl *Plane) Recover(shard, replicaIdx int) bool {
+	g, found := pl.groups[shard]
+	if !found || replicaIdx < 0 || replicaIdx >= len(g.replicas) {
+		return false
+	}
+	r := g.replicas[replicaIdx]
+	if !r.crashed {
+		return false
+	}
+	r.crashed = false
+	ld := g.lead()
+	entries, retained := ld.log.entriesFrom(r.log.lastIndex() + 1)
+	if !retained {
+		// The leader compacted past this replica's log: ship a snapshot of
+		// the leader state (a fresh deterministic store) and restart the
+		// log at the snapshot index.
+		pl.seedCtr++
+		st := kvstore.NewStore(pl.cfg.Seed + 9000 + pl.seedCtr)
+		for _, rec := range ld.store.All() {
+			st.Put(rec)
+		}
+		r.store = st
+		r.log = wal{snapIndex: ld.applied}
+		r.applied = ld.applied
+		pl.snapshotInstalls++
+		entries, _ = ld.log.entriesFrom(r.log.lastIndex() + 1)
+	}
+	for _, e := range entries {
+		r.log.append(e)
+		g.appended++
+	}
+	pl.recoveries++
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Membership change.
+
+// AddShard mints a new shard, adds it to the hash ring, and hands off the
+// record ranges the consistent hash now assigns to it. Returns the new
+// shard id.
+func (pl *Plane) AddShard() int {
+	g := pl.addGroup()
+	pl.rebalance()
+	return g.id
+}
+
+// RemoveShard retires a shard: its virtual nodes leave the hash ring and
+// every record it held is handed off to the new owners. The last shard
+// cannot be removed.
+func (pl *Plane) RemoveShard(id int) error {
+	g, found := pl.groups[id]
+	if !found {
+		return fmt.Errorf("metaplane: shard %d is not a member", id)
+	}
+	if len(pl.order) == 1 {
+		return fmt.Errorf("metaplane: cannot remove the last shard")
+	}
+	pl.ring.RemoveShard(id)
+	for _, rec := range g.lead().store.All() {
+		target := pl.groups[pl.ShardFor(rec.FID, rec.Offset)]
+		pl.adminApply(target, OpPut, rec)
+		pl.handoffs++
+	}
+	pl.retiredOps += g.ops
+	pl.retiredAppended += g.appended
+	pl.retiredSnapshots += g.snapshots
+	delete(pl.groups, id)
+	kept := pl.order[:0]
+	for _, s := range pl.order {
+		if s != id {
+			kept = append(kept, s)
+		}
+	}
+	pl.order = kept
+	return nil
+}
+
+// rebalance moves every record whose consistent-hash owner changed (after
+// an AddShard) to its new shard, through both groups' WALs so the ledgers
+// and logs stay coherent.
+func (pl *Plane) rebalance() {
+	for _, id := range pl.order {
+		g := pl.groups[id]
+		var moved []meta.Record
+		for _, rec := range g.lead().store.All() {
+			if pl.ShardFor(rec.FID, rec.Offset) != id {
+				moved = append(moved, rec)
+			}
+		}
+		for _, rec := range moved {
+			pl.adminApply(g, OpDelete, meta.Record{FID: rec.FID, Offset: rec.Offset})
+			pl.adminApply(pl.groups[pl.ShardFor(rec.FID, rec.Offset)], OpPut, rec)
+			pl.handoffs++
+		}
+	}
+}
+
+// adminApply commits one mutation through a group's WAL without charging
+// virtual time — membership surgery runs at administrative instants, not
+// on a client's clock.
+func (pl *Plane) adminApply(g *group, kind OpKind, rec meta.Record) {
+	e := Entry{Index: g.lead().log.lastIndex() + 1, Kind: kind, Rec: rec}
+	g.lead().log.append(e)
+	g.appended++
+	for i, f := range g.replicas {
+		if i == g.leader || f.crashed {
+			continue
+		}
+		f.log.append(e)
+		g.appended++
+	}
+	g.commitEntry(e, pl.cfg.SnapshotEvery)
+}
+
+// ---------------------------------------------------------------------------
+// Invariants and telemetry.
+
+// CheckInvariants sweeps the plane's structural invariants and returns
+// human-readable violations (empty when healthy):
+//   - every group's leader is alive, fully applied, and at the commit index
+//   - every alive replica's WAL reaches the commit index
+//   - replica apply/snapshot indexes are ordered (snap ≤ applied ≤ last)
+//   - no committed record is lost: the leader store matches the commit-time
+//     ledger exactly
+//   - placement: every stored record hashes to the shard holding it
+func (pl *Plane) CheckInvariants() []string {
+	var v []string
+	for _, id := range pl.order {
+		g := pl.groups[id]
+		ld := g.lead()
+		if ld.crashed {
+			v = append(v, fmt.Sprintf("shard %d: leader replica %d is crashed", id, g.leader))
+			continue
+		}
+		if ld.log.lastIndex() != g.commit || ld.applied != g.commit {
+			v = append(v, fmt.Sprintf("shard %d: leader log=%d applied=%d commit=%d",
+				id, ld.log.lastIndex(), ld.applied, g.commit))
+		}
+		for _, i := range g.alive() {
+			r := g.replicas[i]
+			if r.log.lastIndex() != g.commit {
+				v = append(v, fmt.Sprintf("shard %d: alive replica %d WAL at %d behind commit %d",
+					id, i, r.log.lastIndex(), g.commit))
+			}
+		}
+		for i, r := range g.replicas {
+			if r.applied < r.log.snapIndex || r.applied > r.log.lastIndex() {
+				v = append(v, fmt.Sprintf("shard %d: replica %d applied=%d outside [snap=%d, last=%d]",
+					id, i, r.applied, r.log.snapIndex, r.log.lastIndex()))
+			}
+		}
+		if ld.store.Len() != len(g.ledger) {
+			v = append(v, fmt.Sprintf("shard %d: leader store holds %d records, committed ledger %d",
+				id, ld.store.Len(), len(g.ledger)))
+		}
+		keys := make([]meta.Key, 0, len(g.ledger))
+		for k := range g.ledger {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		for _, k := range keys {
+			if _, ok := ld.store.Get(k); !ok {
+				v = append(v, fmt.Sprintf("shard %d: committed record fid=%d off=%d lost",
+					id, k.FID, k.Offset))
+			}
+		}
+		for _, rec := range ld.store.All() {
+			if home := pl.ShardFor(rec.FID, rec.Offset); home != id {
+				v = append(v, fmt.Sprintf("shard %d: record fid=%d off=%d belongs to shard %d",
+					id, rec.FID, rec.Offset, home))
+			}
+		}
+	}
+	return v
+}
+
+// ShardStat is one shard's telemetry snapshot.
+type ShardStat struct {
+	Shard         int   `json:"shard"`
+	LeaderReplica int   `json:"leader_replica"`
+	LeaderNode    int   `json:"leader_node"`
+	Ops           int64 `json:"ops"`
+	CommitIndex   int64 `json:"commit_index"`
+	WALEntries    int   `json:"wal_entries"`
+	SnapIndex     int64 `json:"snap_index"`
+	Snapshots     int64 `json:"snapshots"`
+	Records       int   `json:"records"`
+}
+
+// Stats is the plane-wide telemetry snapshot.
+type Stats struct {
+	Shards           int         `json:"shards"`
+	Replicas         int         `json:"replicas"`
+	Puts             int64       `json:"puts"`
+	Deletes          int64       `json:"deletes"`
+	Lookups          int64       `json:"lookups"`
+	Failovers        int64       `json:"failovers"`
+	Recoveries       int64       `json:"recoveries"`
+	SnapshotInstalls int64       `json:"snapshot_installs"`
+	Handoffs         int64       `json:"handoffs"`
+	PerShard         []ShardStat `json:"per_shard"`
+}
+
+// Stats returns the current telemetry snapshot.
+func (pl *Plane) Stats() Stats {
+	s := Stats{
+		Shards:           len(pl.order),
+		Replicas:         pl.cfg.Replicas,
+		Puts:             pl.puts,
+		Deletes:          pl.deletes,
+		Lookups:          pl.lookups,
+		Failovers:        pl.failovers,
+		Recoveries:       pl.recoveries,
+		SnapshotInstalls: pl.snapshotInstalls,
+		Handoffs:         pl.handoffs,
+	}
+	for _, id := range pl.order {
+		g := pl.groups[id]
+		ld := g.lead()
+		s.PerShard = append(s.PerShard, ShardStat{
+			Shard:         id,
+			LeaderReplica: g.leader,
+			LeaderNode:    ld.node,
+			Ops:           g.ops,
+			CommitIndex:   g.commit,
+			WALEntries:    len(ld.log.entries),
+			SnapIndex:     ld.log.snapIndex,
+			Snapshots:     g.snapshots,
+			Records:       ld.store.Len(),
+		})
+	}
+	return s
+}
+
+// PutLatencies returns the recorded mutation commit latencies (only when
+// Config.RecordLatencies).
+func (pl *Plane) PutLatencies() []float64 { return pl.latPut }
+
+// StatLatencies returns the recorded read round-trip latencies (only when
+// Config.RecordLatencies).
+func (pl *Plane) StatLatencies() []float64 { return pl.latStat }

@@ -24,6 +24,7 @@ const (
 	pidFlows     = 3
 	pidAllocator = 4
 	pidSolver    = 5
+	pidMetaPlane = 6
 )
 
 // chromeEvent is one entry of the trace-event array.
@@ -65,6 +66,9 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 	}
 	if len(r.parallelSamples) > 0 {
 		meta(pidSolver, "solver-pool")
+	}
+	if len(r.metaSamples) > 0 {
+		meta(pidMetaPlane, "metaplane")
 	}
 	for i, tr := range r.tracks {
 		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Pid: pidTracks,
@@ -119,6 +123,15 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 		out = append(out, chromeEvent{Name: "alloc.flows_solved", Ph: "C",
 			Ts: usec(float64(s.t)), Pid: pidAllocator, Tid: 1,
 			Args: map[string]any{"cumulative": s.stats.FlowsSolved}})
+	}
+	// Metadata-plane telemetry: one cumulative ops counter per shard. Absent
+	// entirely in single-ring runs, so legacy exports are unchanged.
+	for _, s := range r.metaSamples {
+		for i, shard := range s.shards {
+			out = append(out, chromeEvent{Name: fmt.Sprintf("meta.shard%d.ops", shard), Ph: "C",
+				Ts: usec(float64(s.t)), Pid: pidMetaPlane, Tid: 1,
+				Args: map[string]any{"cumulative": s.ops[i]}})
+		}
 	}
 	// Worker-pool telemetry: the batch fan-out timeline plus one cumulative
 	// task counter per worker slot. Absent entirely in serial runs, so

@@ -62,6 +62,9 @@ type Summary struct {
 	// serially. Host-execution telemetry: not comparable across runs or
 	// worker counts (see sim.ParallelTracer).
 	Parallel *ParallelSummary `json:"parallel,omitempty"`
+	// Meta digests the metadata-plane per-shard op timeline; nil when the
+	// run used the legacy single ring.
+	Meta *MetaPlaneSummary `json:"metaplane,omitempty"`
 }
 
 // AllocSummary is the allocator block of a recording's digest: the final
@@ -90,6 +93,19 @@ type ParallelSummary struct {
 	// fraction of slots that would be busy if every component cost the
 	// same, averaged over batches.
 	MeanUtilization float64 `json:"mean_utilization"`
+}
+
+// MetaPlaneSummary is the metadata-plane block of a recording's digest:
+// the final cumulative op counts per shard.
+type MetaPlaneSummary struct {
+	// Samples is the number of charged plane ops on the timeline.
+	Samples int `json:"samples"`
+	// Shards and OpsPerShard are parallel: shard ids (ascending) and the
+	// cumulative ops each served, from the last sample.
+	Shards      []int   `json:"shards"`
+	OpsPerShard []int64 `json:"ops_per_shard"`
+	// TotalOps sums OpsPerShard.
+	TotalOps int64 `json:"total_ops"`
 }
 
 // percentile returns the q-quantile (0 < q ≤ 1) of sorted durations.
@@ -206,6 +222,18 @@ func (r *Recorder) Summarize(maxResources int) *Summary {
 		ps.MeanUtilization = util / float64(n)
 		s.Parallel = ps
 	}
+	if n := len(r.metaSamples); n > 0 {
+		last := r.metaSamples[n-1]
+		ms := &MetaPlaneSummary{
+			Samples:     n,
+			Shards:      append([]int(nil), last.shards...),
+			OpsPerShard: append([]int64(nil), last.ops...),
+		}
+		for _, ops := range ms.OpsPerShard {
+			ms.TotalOps += ops
+		}
+		s.Meta = ms
+	}
 	return s
 }
 
@@ -238,5 +266,10 @@ func (s *Summary) Format(w io.Writer) {
 		p := s.Parallel
 		fmt.Fprintf(w, "solver pool: %d parallel batches (%d components, %d flows), max %d workers, %.0f%% slot utilization, tasks/worker %v\n",
 			p.Batches, p.Components, p.Flows, p.MaxWorkers, p.MeanUtilization*100, p.TasksPerWorker)
+	}
+	if s.Meta != nil {
+		m := s.Meta
+		fmt.Fprintf(w, "metaplane: %d charged ops across %d shards, ops/shard %v\n",
+			m.TotalOps, len(m.Shards), m.OpsPerShard)
 	}
 }

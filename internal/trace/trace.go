@@ -29,6 +29,9 @@ const (
 	CatMPI Category = "mpi"
 	// CatMeta: metadata record and open/close server operations.
 	CatMeta Category = "meta"
+	// CatMetaPlane: replicated metadata-plane operations (sharded commit,
+	// failover, recovery).
+	CatMetaPlane Category = "metaplane"
 	// CatWrite: client write path.
 	CatWrite Category = "write"
 	// CatRead: client read path.
@@ -103,6 +106,14 @@ type allocSample struct {
 	live  int
 }
 
+// metaSample is one point of the metadata-plane timeline: the cumulative
+// per-shard op counts after a charged plane operation.
+type metaSample struct {
+	t      sim.Time
+	shards []int
+	ops    []int64
+}
+
 // parallelSample is one point of the worker-pool timeline: the fan-out
 // width and work of one parallel batch. These are host-execution
 // telemetry — task placement is work-stealing — so the timeline is not
@@ -129,6 +140,8 @@ type Recorder struct {
 	counterOrder []*sim.Resource // registration order, for deterministic export
 
 	allocSamples []allocSample // allocator-counter timeline (sim.AllocTracer)
+
+	metaSamples []metaSample // metadata-plane per-shard op timeline
 
 	// Worker-pool telemetry (sim.ParallelTracer): the batch timeline and
 	// cumulative tasks per worker slot.
@@ -329,6 +342,28 @@ func (r *Recorder) AllocSample(t sim.Time, s sim.AllocStats, liveComponents int)
 		return
 	}
 	r.allocSamples = append(r.allocSamples, allocSample{t: t, stats: s, live: liveComponents})
+}
+
+// MetaSample records the metadata plane's cumulative per-shard op counts
+// after a charged plane operation (the metaplane.Sampler hook). shards and
+// ops are parallel slices ordered by shard id; both are caller scratch and
+// are copied, not retained.
+func (r *Recorder) MetaSample(t sim.Time, shards []int, ops []int64) {
+	if r == nil {
+		return
+	}
+	r.note(t)
+	// Same-instant ops supersede each other: keep the last state.
+	if n := len(r.metaSamples); n > 0 && r.metaSamples[n-1].t == t {
+		r.metaSamples[n-1].shards = append(r.metaSamples[n-1].shards[:0], shards...)
+		r.metaSamples[n-1].ops = append(r.metaSamples[n-1].ops[:0], ops...)
+		return
+	}
+	r.metaSamples = append(r.metaSamples, metaSample{
+		t:      t,
+		shards: append([]int(nil), shards...),
+		ops:    append([]int64(nil), ops...),
+	})
 }
 
 // ParallelSample records one worker-pool batch (sim.ParallelTracer hook):
