@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke meta-smoke
+.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke meta-smoke dedup-smoke
 
 all: check
 
@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 # The full CI gate: compile, static checks, race-enabled tests, chaos gates.
-check: build vet race chaos-smoke meta-smoke
+check: build vet race chaos-smoke meta-smoke dedup-smoke
 
 # Every figure workload under seeded fault injection with all invariant
 # sweeps; exits non-zero on any violation.
@@ -37,13 +37,28 @@ meta-smoke:
 	done
 	@echo "meta-smoke: all invariants held across 3 seeds"
 
+# Dedup chaos gate: the checkpoint workload with the content-addressed
+# store enabled, a metadata-shard leader crash, and a node crash pinned at
+# t=15.045s — inside the collector's second flow window (traced at
+# 15.037–15.060s for this config) — so a GC batch is always in flight when
+# the fault lands. Three seeds; univistor-sim exits 1 if any CAS
+# conservation, refcount, or coverage invariant breaks.
+dedup-smoke:
+	for seed in 1 2 3; do \
+		$(GO) run ./cmd/univistor-sim -procs 16 -ranks-per-node 8 -mb 16 -seg-mb 4 \
+			-dedup -ckpt 5 -ckpt-retain 2 -meta-shards 3 -meta-replicas 3 \
+			-chaos "seed=$$seed,check=0.2,horizon=3,metacrash=0@6.5,metacrash=1@8.2,crash=1@15.045" \
+			> /dev/null || exit 1; \
+	done
+	@echo "dedup-smoke: CAS invariants held across 3 seeds with mid-GC crash"
+
 # Quick paper-figure benchmark sweep.
 bench:
 	$(GO) run ./cmd/univibench -quick -all
 
 # Wall-clock comparison of the incremental vs global flow allocator over
 # the quick figure sweeps. Override the output with PERF_OUT=path.
-PERF_OUT ?= BENCH_PR7.json
+PERF_OUT ?= BENCH_PR8.json
 bench-perf:
 	$(GO) run ./cmd/univibench -quick -perf -out $(PERF_OUT)
 

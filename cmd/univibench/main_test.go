@@ -72,3 +72,64 @@ func TestFigureOutputIdenticalAcrossParallelism(t *testing.T) {
 		}
 	}
 }
+
+// figdedup drives the checkpoint kernel through the content-addressed
+// flush layer — dedup planning, refcount motion, and the background GC
+// flow all run inside the sim. Same gate as above: one byte stream, at any
+// GOMAXPROCS and worker-pool width.
+func TestFigDedupDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "univibench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	var env []string
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, "UNIVISTOR_SIM_") || strings.HasPrefix(kv, "GOMAXPROCS=") {
+			continue
+		}
+		env = append(env, kv)
+	}
+
+	run := func(gomaxprocs int, workers string) string {
+		args := []string{"-quick", "-fig", "figdedup"}
+		if workers != "" {
+			args = append(args, "-workers", workers)
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Env = append(append([]string{}, env...),
+			"GOMAXPROCS="+string(rune('0'+gomaxprocs)))
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("univibench GOMAXPROCS=%d -workers=%q: %v\nstderr:\n%s",
+				gomaxprocs, workers, err, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	base := run(1, "1")
+	if !strings.Contains(base, "figdedup") || !strings.Contains(base, "physical") {
+		t.Fatalf("baseline output looks wrong:\n%s", base)
+	}
+	cases := []struct {
+		gomaxprocs int
+		workers    string
+	}{
+		{2, ""},
+		{8, ""},
+		{8, "8"},
+	}
+	for _, c := range cases {
+		if got := run(c.gomaxprocs, c.workers); got != base {
+			t.Errorf("figdedup output at GOMAXPROCS=%d -workers=%q differs from serial baseline:\n--- serial\n%s\n--- parallel\n%s",
+				c.gomaxprocs, c.workers, base, got)
+		}
+	}
+}

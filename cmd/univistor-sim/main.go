@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"univistor/internal/bb"
+	"univistor/internal/castore"
 	"univistor/internal/chaos"
 	"univistor/internal/core"
 	"univistor/internal/dataelevator"
@@ -48,6 +49,9 @@ type Output struct {
 
 	// Stats is the full core counter snapshot (univistor driver only).
 	Stats *core.Stats `json:"stats,omitempty"`
+	// CAS is the content-addressed block store's counter snapshot, present
+	// only with -dedup.
+	CAS *castore.Stats `json:"cas,omitempty"`
 	// MetaOps breaks the metadata record operations down by kind and by
 	// serving store — per metadata server in ring mode, per shard with
 	// -meta-shards (univistor driver only).
@@ -84,14 +88,34 @@ func main() {
 			"run the metadata service as this many replicated shards (0 = legacy single ring; univistor driver only)")
 		metaReplicas = flag.Int("meta-replicas", 1,
 			"replication factor per metadata shard (requires -meta-shards)")
-		traceTo = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this path")
-		chaosIn = flag.String("chaos", "", "chaos spec, e.g. seed=1,check=0.5,crash=0@2 (univistor driver only; exits 1 on invariant violations)")
-		alloc   = flag.String("alloc", "", "flow allocator: incremental (default) | global (also settable via UNIVISTOR_SIM_ALLOC)")
-		workers = flag.Int("workers", 0, "solver worker pool size (0 = runtime.NumCPU(), also settable via UNIVISTOR_SIM_WORKERS; results are byte-identical at any value)")
+		dedup = flag.Bool("dedup", false,
+			"enable the content-addressed dedup flush layer (univistor driver only)")
+		dedupBlockMB = flag.Int64("dedup-block-mb", 0,
+			"CAS block size in MiB (0 = the -seg-mb segment size; requires -dedup)")
+		ckptSteps = flag.Int("ckpt", 0,
+			"run the checkpoint kernel for this many time steps instead of the micro workload")
+		ckptChange = flag.Float64("ckpt-change", 0.1,
+			"checkpoint: fraction of each rank's segments changed between steps")
+		ckptRetain = flag.Int("ckpt-retain", 0,
+			"checkpoint: keep only this many newest step files, deleting older ones (0 = keep all)")
+		ckptSeed = flag.Int64("ckpt-seed", 1, "checkpoint: mutation-pattern seed")
+		traceTo  = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this path")
+		chaosIn  = flag.String("chaos", "", "chaos spec, e.g. seed=1,check=0.5,crash=0@2 (univistor driver only; exits 1 on invariant violations)")
+		alloc    = flag.String("alloc", "", "flow allocator: incremental (default) | global (also settable via UNIVISTOR_SIM_ALLOC)")
+		workers  = flag.Int("workers", 0, "solver worker pool size (0 = runtime.NumCPU(), also settable via UNIVISTOR_SIM_WORKERS; results are byte-identical at any value)")
 	)
 	flag.Parse()
 	if *metaReplicas > 1 && *metaShards == 0 {
 		fatal("-meta-replicas requires -meta-shards")
+	}
+	if *dedup && *driver != "univistor" {
+		fatal("-dedup requires -driver univistor")
+	}
+	if *dedupBlockMB > 0 && !*dedup {
+		fatal("-dedup-block-mb requires -dedup")
+	}
+	if *ckptSteps > 0 && *doRead {
+		fatal("-read is not supported with -ckpt (the checkpoint kernel is write-only)")
 	}
 
 	tc := topology.Cori()
@@ -143,6 +167,14 @@ func main() {
 		cc.MetaShards = *metaShards
 		if *metaShards > 0 {
 			cc.MetaReplicas = *metaReplicas
+		}
+		if *dedup {
+			cc.Dedup = true
+			blockMB := *dedupBlockMB
+			if blockMB <= 0 {
+				blockMB = *segMB
+			}
+			cc.DedupBlockBytes = blockMB << 20
 		}
 		cc.CacheTiers = nil
 		for _, tok := range strings.Split(*tiers, ",") {
@@ -196,7 +228,7 @@ func main() {
 	}
 	var maxWrite, maxRead sim.Time
 	readLost := 0
-	app := w.Launch("app", *procs, func(r *mpi.Rank) {
+	appMain := func(r *mpi.Rank) {
 		ws, err := workloads.MicroWrite(r, env, cfg)
 		if err != nil {
 			fatal("write: %v", err)
@@ -233,7 +265,37 @@ func main() {
 		if uv != nil {
 			uv.Disconnect(r)
 		}
-	}, mpi.LaunchOpts{RanksPerNode: *perNode})
+	}
+	if *ckptSteps > 0 {
+		// The checkpoint kernel: segments sized to the write call, each
+		// step's flush triggered explicitly inside the kernel.
+		segs := int(*mb / *segMB)
+		if segs < 1 {
+			segs = 1
+		}
+		ccfg := workloads.CheckpointConfig{
+			SegmentsPerRank: segs,
+			SegmentBytes:    *segMB << 20,
+			TimeSteps:       *ckptSteps,
+			ChangeRate:      *ckptChange,
+			ComputeSeconds:  5,
+			Seed:            *ckptSeed,
+			Retention:       *ckptRetain,
+		}
+		appMain = func(r *mpi.Rank) {
+			st, err := workloads.RunCheckpoint(r, env, ccfg)
+			if err != nil {
+				fatal("checkpoint: %v", err)
+			}
+			if st.TotalIO > maxWrite {
+				maxWrite = st.TotalIO
+			}
+			if uv != nil {
+				uv.Disconnect(r)
+			}
+		}
+	}
+	app := w.Launch("app", *procs, appMain, mpi.LaunchOpts{RanksPerNode: *perNode})
 	e.Go("janitor", func(p *sim.Proc) {
 		app.Wait(p)
 		if uv != nil {
@@ -277,6 +339,7 @@ func main() {
 	if uv != nil {
 		st := uv.Sys.Stats()
 		out.Stats = &st
+		out.CAS = uv.Sys.CASStats()
 		d := uv.Sys.MetaOpDetail()
 		out.MetaOps = &d
 		if pl := uv.Sys.Plane(); pl != nil {

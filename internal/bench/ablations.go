@@ -179,10 +179,11 @@ func ByID(id string) (func(Options) *Result, bool) {
 		"abl-striping": AblationStriping, "abl-laread": AblationLocationAwareRead,
 		"abl-centralmeta": AblationCentralMetadata, "abl-servers": AblationServersPerNode,
 		"abl-segsize": AblationSegmentSize,
-		// figmeta is runnable by id and rides in the -perf report, but is
-		// deliberately not part of All(): -all output stays byte-identical
-		// with earlier releases.
-		"figmeta": FigMeta,
+		// figmeta and figdedup are runnable by id and ride in the -perf
+		// report, but are deliberately not part of All(): -all output
+		// stays byte-identical with earlier releases.
+		"figmeta":  FigMeta,
+		"figdedup": FigDedup,
 	}
 	f, ok := m[id]
 	return f, ok
@@ -193,5 +194,5 @@ func IDs() []string {
 	return []string{"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
 		"fig7", "fig8", "fig9", "fig10",
 		"abl-striping", "abl-laread", "abl-centralmeta", "abl-servers", "abl-segsize",
-		"figmeta"}
+		"figmeta", "figdedup"}
 }

@@ -73,3 +73,29 @@ func TestByIDAndIDsConsistent(t *testing.T) {
 		t.Error("ByID resolved a nonsense id")
 	}
 }
+
+// TestAllFigureSetStable pins the -all figure set: exactly the legacy ten
+// paper figures plus the five ablations, in order. figmeta and figdedup are
+// runnable by id and embedded in the -perf report, but must never leak into
+// All() — `univibench -quick -all` output stays byte-identical with dedup
+// compiled in but disabled.
+func TestAllFigureSetStable(t *testing.T) {
+	o := quick()
+	o.Scales = []int{16}
+	want := []string{
+		"fig5a", "fig5b", "fig5c",
+		"fig6a", "fig6b", "fig6c",
+		"fig7", "fig8", "fig9", "fig10",
+		"abl-striping", "abl-laread",
+		"abl-centralmeta", "abl-servers", "abl-segsize",
+	}
+	got := All(o)
+	if len(got) != len(want) {
+		t.Fatalf("All() returns %d figures, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.ID != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, r.ID, want[i])
+		}
+	}
+}

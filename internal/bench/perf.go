@@ -6,9 +6,10 @@ package bench
 // to the historical global solver) and across worker counts, so the only
 // thing that differs is how long the host takes to produce them — which
 // is exactly what this file measures and writes to the -out report
-// (BENCH_PR7.json by default). The report also embeds the figmeta
+// (BENCH_PR8.json by default). The report also embeds the figmeta
 // metadata-plane scaling figure (ops/s and p99 stat latency vs shard
-// count) so the sweep's artifact carries the PR7 scaling data.
+// count) and the figdedup content-addressed flush figure (logical vs
+// physical flushed bytes over the checkpoint kernel).
 
 import (
 	"encoding/json"
@@ -40,7 +41,7 @@ type PerfFigure struct {
 	Alloc sim.AllocStats `json:"alloc"`
 }
 
-// PerfReport is the perf-mode output document (BENCH_PR7.json).
+// PerfReport is the perf-mode output document (BENCH_PR8.json).
 type PerfReport struct {
 	// Benchmark names the measurement series.
 	Benchmark string `json:"benchmark"`
@@ -58,6 +59,10 @@ type PerfReport struct {
 	// MetaScaling is the figmeta metadata-plane scaling figure (virtual-time
 	// ops/s and p99 stat latency per shard count at R=1 and R=3).
 	MetaScaling *Result `json:"meta_scaling,omitempty"`
+	// Dedup is the figdedup content-addressed flush figure (logical vs
+	// physical flushed GiB and end-to-end time, dedup off vs on, over the
+	// checkpoint kernel at a 10% inter-step change rate).
+	Dedup *Result `json:"dedup,omitempty"`
 }
 
 // DefaultPerfFigures are the sweeps the perf mode times when none are
@@ -105,7 +110,7 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 	if workers <= 0 {
 		workers = sim.NewEngine().Workers()
 	}
-	rep := &PerfReport{Benchmark: "BENCH_PR7", Quick: quick, Workers: workers}
+	rep := &PerfReport{Benchmark: "BENCH_PR8", Quick: quick, Workers: workers}
 	say := func(format string, args ...any) {
 		if progress != nil {
 			fmt.Fprintf(progress, format+"\n", args...)
@@ -188,6 +193,11 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 	mo.Verbose = false
 	rep.MetaScaling = FigMeta(mo)
 	say("perf figmeta: metadata scaling embedded (%d series)", len(rep.MetaScaling.Series))
+	// The dedup figure: checkpoint kernel with the content-addressed
+	// flush layer off vs on, embedded so the artifact carries the PR8
+	// logical-vs-physical data.
+	rep.Dedup = FigDedup(mo)
+	say("perf figdedup: dedup figure embedded (%d series)", len(rep.Dedup.Series))
 	return rep, nil
 }
 

@@ -12,11 +12,14 @@ func TestRunPerfReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunPerf: %v", err)
 	}
-	if rep.Benchmark != "BENCH_PR7" || !rep.Quick {
+	if rep.Benchmark != "BENCH_PR8" || !rep.Quick {
 		t.Fatalf("bad header: %+v", rep)
 	}
 	if rep.MetaScaling == nil || rep.MetaScaling.ID != "figmeta" || len(rep.MetaScaling.Series) == 0 {
 		t.Fatalf("metadata scaling figure not embedded: %+v", rep.MetaScaling)
+	}
+	if rep.Dedup == nil || rep.Dedup.ID != "figdedup" || len(rep.Dedup.Series) != 4 {
+		t.Fatalf("dedup figure not embedded: %+v", rep.Dedup)
 	}
 	if rep.Workers < 1 {
 		t.Fatalf("worker count not recorded: %+v", rep)

@@ -1,0 +1,61 @@
+package castore
+
+// Content fingerprints: FNV-64a over the block's content description with a
+// splitmix64 finalizer — the same hashing idiom the metadata plane's
+// consistent-hash ring uses. Fingerprints identify block *content*, so two
+// blocks assembled from identical span layouts and payload tags collide
+// intentionally (that is the dedup), while Sum never returns Hole (0).
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Digest accumulates a block fingerprint incrementally.
+type Digest uint64
+
+// NewDigest returns the FNV-64a offset basis.
+func NewDigest() Digest { return fnvOffset }
+
+// Word folds one 64-bit value into the digest, little-endian byte by byte
+// (the canonical FNV-64a step).
+func (d Digest) Word(v uint64) Digest {
+	h := uint64(d)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return Digest(h)
+}
+
+// Bytes folds a byte slice into the digest.
+func (d Digest) Bytes(b []byte) Digest {
+	h := uint64(d)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return Digest(h)
+}
+
+// Sum finalizes the digest with the splitmix64 mixer. It never returns
+// Hole: the zero fingerprint is remapped so a hash can always be told
+// apart from an unwritten gap.
+func (d Digest) Sum() uint64 {
+	h := splitmix64(uint64(d))
+	if h == Hole {
+		return fnvOffset
+	}
+	return h
+}
+
+// HashBytes fingerprints a payload in one call.
+func HashBytes(b []byte) uint64 { return NewDigest().Bytes(b).Sum() }
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-distributed 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -73,10 +73,14 @@ type ClientFile struct {
 	fs   *fileState
 	mode Mode
 
-	ls      *logstore.LogSet          // per-process per-tier logs (write mode)
+	ls      *logstore.LogSet           // per-process per-tier logs (write mode)
 	devs    [meta.NumTiers]tier.Device // per-tier device backing each log
 	written int64
 	closed  bool
+
+	// writeTag carries WriteAtTagged's content tag into the wrapped WriteAt
+	// call (dedup fingerprinting for size-only payloads).
+	writeTag uint64
 }
 
 // Name returns the file's name.
@@ -187,6 +191,26 @@ func (cf *ClientFile) setupLogs() error {
 			return err
 		}
 		cf.devs[bk.Tier()] = dev
+	}
+	return nil
+}
+
+// Flush triggers the server-side asynchronous flush of the file's dirty
+// bytes without closing the handle (an MPI_File_sync). Collective: every
+// rank of the application must call it; the root triggers after the
+// barrier. Like Close, it returns as soon as the flush is *triggered* —
+// use System.WaitFlush to observe completion.
+func (cf *ClientFile) Flush() error {
+	if cf.closed {
+		return fmt.Errorf("core: flush on closed file %q", cf.fs.name)
+	}
+	if cf.mode != WriteOnly {
+		return fmt.Errorf("core: flush on %q opened for %s", cf.fs.name, cf.mode)
+	}
+	c := cf.c
+	c.rank.Barrier()
+	if c.rank.Rank() == 0 {
+		c.sys.triggerFlush(c.rank.P, cf.fs)
 	}
 	return nil
 }

@@ -151,6 +151,25 @@ type Config struct {
 	// resilience extension from the paper's future work (§V).
 	ReplicateVolatile bool
 
+	// Dedup enables the content-addressed dedup block layer on the flush
+	// path: flushed file images are chunked into fixed-size blocks,
+	// fingerprinted, and deduplicated across files, ranks, and timesteps;
+	// only blocks without an existing copy move to the PFS. Overwrites and
+	// deletes decrement block refcounts, and a background GC flow reclaims
+	// unreferenced blocks. Off (the default) keeps the legacy flush path
+	// byte-identical.
+	Dedup bool
+
+	// DedupBlockBytes is the CAS chunking granularity (default 1 MiB).
+	// Segment-aligned workloads dedup best when their write size is a
+	// multiple of the block size.
+	DedupBlockBytes int64
+
+	// DedupGCBatchBytes caps the bytes one GC flow reclaims per collection
+	// batch (default 256 MiB); each batch is a real PFS flow competing in
+	// the max-min allocator.
+	DedupGCBatchBytes int64
+
 	// ProactivePlacement promotes segments on slow tiers into the
 	// producer's DRAM log once they have been read PromoteAfterReads
 	// times — the usage-pattern-driven placement extension of §V.
@@ -225,6 +244,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MetaShards and CentralMetadata are mutually exclusive")
 	case c.MetaShards == 0 && c.MetaReplicas > 1:
 		return fmt.Errorf("core: MetaReplicas requires MetaShards > 0")
+	}
+	switch {
+	case c.DedupBlockBytes < 0:
+		return fmt.Errorf("core: DedupBlockBytes must be non-negative, got %d", c.DedupBlockBytes)
+	case c.DedupGCBatchBytes < 0:
+		return fmt.Errorf("core: DedupGCBatchBytes must be non-negative, got %d", c.DedupGCBatchBytes)
+	case !c.Dedup && (c.DedupBlockBytes > 0 || c.DedupGCBatchBytes > 0):
+		return fmt.Errorf("core: DedupBlockBytes/DedupGCBatchBytes require Dedup")
 	}
 	seen := map[meta.Tier]bool{}
 	for _, t := range c.CacheTiers {

@@ -30,12 +30,17 @@ import (
 //     (bytes written per file, bytes served to readers, pending-flush sums).
 //  5. Flow conservation — the sim engine's allocated rates fit inside every
 //     resource's capacity (delegated to Engine.CheckFlowConservation).
+//  6. CAS conservation (dedup runs only) — sum of block refcounts × block
+//     size equals the live logical extent bytes the file block maps hold, no
+//     block is freed while referenced, every byte ever interned is live,
+//     dead, or freed, and no orphan dead block outlives the collector.
 func (sys *System) CheckInvariants() []string {
 	var out []string
 	out = append(out, sys.checkPools()...)
 	out = append(out, sys.checkLogs()...)
 	out = append(out, sys.checkMetadataCoverage()...)
 	out = append(out, sys.checkStatsCoherence()...)
+	out = append(out, sys.checkCAS()...)
 	if sys.plane != nil {
 		for _, v := range sys.plane.CheckInvariants() {
 			out = append(out, "metaplane "+v)
@@ -224,7 +229,11 @@ func (sys *System) checkMetadataCoverage() []string {
 				"meta %q: ring resolves %d bytes but %d live bytes were written — records lost",
 				fs.name, covered, live))
 		}
-		if cur < fs.logicalSize {
+		// A tail gap is a lost record — unless a range delete removed the
+		// records that reached the logical size (a deleted tail keeps the
+		// logical size, like a punched hole; anything under it that was
+		// never written was never resolvable to begin with).
+		if cur < fs.logicalSize && fs.deletedEnd < fs.logicalSize {
 			out = append(out, fmt.Sprintf("meta %q: tail gap [%d, %d) — bytes unresolvable",
 				fs.name, cur, fs.logicalSize))
 		}

@@ -156,6 +156,10 @@ func (cf *ClientFile) Delete(off, size int64) (int, error) {
 		// The deleted bytes leave the resolvable set, like an exact-key
 		// rewrite — the coverage invariant reconciles against this ledger.
 		fs.overwritten += rec.Size
+		if end := rec.Offset + rec.Size; end > fs.deletedEnd {
+			fs.deletedEnd = end
+		}
+		delete(fs.segTags, rec.Offset)
 		if byTier := fs.cached[producer.c.server.GlobalIdx]; byTier != nil && byTier[tier] >= rec.Size {
 			byTier[tier] -= rec.Size
 			fs.cachedTotal -= rec.Size
@@ -166,6 +170,13 @@ func (cf *ClientFile) Delete(off, size int64) (int, error) {
 	// per-record replicated commits above instead).
 	if sys.plane == nil {
 		sys.chargeMetaOp(cf.c.rank.P, cf.c.rank.Node(), sys.metaServer(sys.ring.HomeServer(off)))
+	}
+	// Flushed CAS blocks fully inside the range lose their reference now;
+	// the drop and the GC kick are park-free, so no sweep can observe
+	// orphaned dead blocks in between.
+	if sys.cas != nil {
+		sys.casDeleteRange(fs, off, size)
+		sys.casKickGC()
 	}
 	return removed, nil
 }

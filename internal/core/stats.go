@@ -27,8 +27,19 @@ type Stats struct {
 	// BytesReadDegraded counts bytes rescued after the producer node failed:
 	// served from the flushed PFS copy or the buddy-node replica.
 	BytesReadDegraded int64
-	// BytesFlushed counts bytes moved to the PFS by the flush service.
+	// BytesFlushed counts logical bytes retired to the PFS by the flush
+	// service (what the application persisted).
 	BytesFlushed int64
+	// BytesFlushedPhysical counts the bytes the flush actually moved with
+	// dedup enabled — logical bytes minus the blocks an existing physical
+	// copy satisfied. Zero when dedup is off.
+	BytesFlushedPhysical int64
+	// DedupBytesSaved is the cumulative flush traffic dedup avoided.
+	DedupBytesSaved int64
+	// CASGCRuns and CASGCBytes count the dedup layer's collection flows
+	// and the bytes they reclaimed.
+	CASGCRuns  int64
+	CASGCBytes int64
 	// Flushes counts completed flush operations.
 	Flushes int64
 	// MetaOps counts metadata record operations (inserts and lookups).
@@ -71,22 +82,27 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		dropped = append(dropped, t.String())
 	}
 	return json.Marshal(struct {
-		BytesWritten      map[string]int64 `json:"bytes_written_by_tier"`
-		BytesReadLocal    int64            `json:"bytes_read_local"`
-		BytesReadShared   int64            `json:"bytes_read_shared"`
-		BytesReadRemote   int64            `json:"bytes_read_remote"`
-		BytesReadDegraded int64            `json:"bytes_read_degraded"`
-		BytesFlushed      int64            `json:"bytes_flushed"`
-		Flushes           int64            `json:"flushes"`
-		MetaOps           int64            `json:"meta_ops"`
-		OpenOps           int64            `json:"open_ops"`
-		Replications      int64            `json:"replications"`
-		Promotions        int64            `json:"promotions"`
-		Spills            int64            `json:"spills"`
-		DroppedTiers      []string         `json:"dropped_tiers"`
+		BytesWritten         map[string]int64 `json:"bytes_written_by_tier"`
+		BytesReadLocal       int64            `json:"bytes_read_local"`
+		BytesReadShared      int64            `json:"bytes_read_shared"`
+		BytesReadRemote      int64            `json:"bytes_read_remote"`
+		BytesReadDegraded    int64            `json:"bytes_read_degraded"`
+		BytesFlushed         int64            `json:"bytes_flushed"`
+		BytesFlushedPhysical int64            `json:"bytes_flushed_physical,omitempty"`
+		DedupBytesSaved      int64            `json:"dedup_bytes_saved,omitempty"`
+		CASGCRuns            int64            `json:"cas_gc_runs,omitempty"`
+		CASGCBytes           int64            `json:"cas_gc_bytes,omitempty"`
+		Flushes              int64            `json:"flushes"`
+		MetaOps              int64            `json:"meta_ops"`
+		OpenOps              int64            `json:"open_ops"`
+		Replications         int64            `json:"replications"`
+		Promotions           int64            `json:"promotions"`
+		Spills               int64            `json:"spills"`
+		DroppedTiers         []string         `json:"dropped_tiers"`
 	}{written, s.BytesReadLocal, s.BytesReadShared, s.BytesReadRemote,
-		s.BytesReadDegraded, s.BytesFlushed, s.Flushes, s.MetaOps, s.OpenOps,
-		s.Replications, s.Promotions, s.Spills, dropped})
+		s.BytesReadDegraded, s.BytesFlushed, s.BytesFlushedPhysical,
+		s.DedupBytesSaved, s.CASGCRuns, s.CASGCBytes, s.Flushes, s.MetaOps,
+		s.OpenOps, s.Replications, s.Promotions, s.Spills, dropped})
 }
 
 // TotalBytesWritten sums writes across tiers.

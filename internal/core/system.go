@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"univistor/internal/bb"
+	"univistor/internal/castore"
 	"univistor/internal/extent"
 	"univistor/internal/kvstore"
 	"univistor/internal/lustre"
@@ -57,6 +58,16 @@ type System struct {
 	// hands. It runs in the context of the process driving the transition
 	// and must not block.
 	InvariantCheck func(stage string)
+
+	// cas, when non-nil, is the content-addressed dedup block store on the
+	// flush path (Cfg.Dedup). casGCFile is the PFS scratch file the GC's
+	// collection flows charge; casGCBusy guards the single background
+	// collector; casLogical accumulates the logical bytes presented to
+	// dedup planning (the counter track's logical axis).
+	cas        *castore.Store
+	casGCFile  *lustre.File
+	casGCBusy  bool
+	casLogical int64
 
 	// writeOps counts completed WriteAt calls; onWrite (when set) observes
 	// each one — the trigger for write-count-scheduled fault injection.
@@ -123,6 +134,12 @@ type fileState struct {
 	heat       map[int64]int
 	promotions int
 
+	// segTags maps a segment (by logical offset) to its content tag: the
+	// payload's hash when real bytes were written, or the caller-supplied
+	// tag of WriteAtTagged in size-only runs. The CAS layer fingerprints
+	// flush blocks from these. Only maintained when dedup is enabled.
+	segTags map[int64]uint64
+
 	// totalWritten accumulates every logical byte ever written to the file
 	// (never reset by flushes) — the independent ledger the stats-coherence
 	// invariant compares Stats.BytesWritten against. overwritten counts the
@@ -131,6 +148,10 @@ type fileState struct {
 	// overwritten is what the metadata ring must still resolve.
 	totalWritten int64
 	overwritten  int64
+	// deletedEnd is the highest end offset among records removed by range
+	// deletes. A tail gap reaching it is a punched hole, not a lost
+	// record, so the coverage invariant's tail-gap check excuses it.
+	deletedEnd int64
 }
 
 type reservation struct {
@@ -189,6 +210,11 @@ func NewSystem(w *mpi.World, cfg Config) (*System, error) {
 			fmt.Sprintf("dropped cache tier %s: backend unavailable on this cluster", t))
 	}
 	sys.WF = workflow.NewManager(w.Cluster.Cfg.PFSLatency)
+	if cfg.Dedup {
+		if err := sys.setupCAS(); err != nil {
+			return nil, err
+		}
+	}
 
 	nNodes := len(w.Cluster.Nodes)
 	nServers := nNodes * cfg.ServersPerNode
@@ -382,6 +408,9 @@ type flushReq struct {
 	rangeLen int64
 	// source bytes per tier for the read leg of the pipeline.
 	tierBytes map[meta.Tier]int64
+	// physFrac scales each leg's moved bytes: with dedup, the fraction of
+	// the flushed image without an existing physical copy (1 otherwise).
+	physFrac float64
 	// done is this flush's completion event (fresh per flush; the last
 	// finishing server sets it).
 	done *sim.Event
@@ -484,6 +513,21 @@ func (sys *System) triggerFlush(p *sim.Proc, fs *fileState) {
 	}
 	fs.flushOff = map[int64]int64{}
 
+	// Dedup planning: chunk the logical image, intern/release block
+	// references, and scale the physical flush traffic to the bytes that
+	// have no existing copy. Released blocks may die here, so the GC is
+	// kicked immediately (plan and kick are park-free, so no invariant
+	// sweep can observe orphaned dead blocks in between).
+	physFrac := 1.0
+	if sys.cas != nil {
+		phys := sys.casPlanFlush(p, fs, recs)
+		sys.casKickGC()
+		physFrac = float64(phys) / float64(total)
+		if physFrac > 1 {
+			physFrac = 1
+		}
+	}
+
 	// Each flusher gets a contiguous, even range of the flush file.
 	per := total / int64(len(flushers))
 	rem := total % int64(len(flushers))
@@ -494,7 +538,7 @@ func (sys *System) triggerFlush(p *sim.Proc, fs *fileState) {
 			length++
 		}
 		req := &flushReq{fs: fs, rangeOff: off, rangeLen: length,
-			tierBytes: fs.cached[idx], done: fs.flushEv}
+			tierBytes: fs.cached[idx], physFrac: physFrac, done: fs.flushEv}
 		// Record where each of this server's segments lands inside its
 		// range, so degraded reads (producer node failed after the flush)
 		// address the real flushed copy. Segments laid out back to back;
@@ -552,8 +596,17 @@ func (s *Server) doFlush(r *mpi.Rank, req *flushReq) {
 		}
 		leg := sys.W.Trace.Begin(r.P, tier.Cat(bk.Tier()), "flush-leg")
 		readLeg := bk.FlushLeg(s.Node, r.H.MemPath())
-		if err := req.fs.pfsFile.Write(r.P, s.Node, req.rangeOff+(req.rangeLen-remaining), bytes, readLeg...); err != nil {
-			panic(fmt.Sprintf("core: flush write: %v", err))
+		// With dedup, only the blocks without an existing physical copy
+		// move: the server consults the CAS index computed at trigger time
+		// and skips duplicate content on both the read and write legs.
+		moved := bytes
+		if req.physFrac < 1 {
+			moved = int64(float64(bytes) * req.physFrac)
+		}
+		if moved > 0 {
+			if err := req.fs.pfsFile.Write(r.P, s.Node, req.rangeOff+(req.rangeLen-remaining), moved, readLeg...); err != nil {
+				panic(fmt.Sprintf("core: flush write: %v", err))
+			}
 		}
 		leg.End(r.P.Now())
 		remaining -= bytes

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"univistor/internal/castore"
 	"univistor/internal/meta"
 	"univistor/internal/tier"
 	"univistor/internal/trace"
@@ -86,6 +87,20 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 	if data != nil {
 		cf.fs.content.Write(off, data)
 	}
+	if sys.cas != nil {
+		// Content tag for flush-time fingerprinting: the payload's hash
+		// when real bytes exist, else the caller's WriteAtTagged tag (zero
+		// for untagged size-only writes, which therefore hash as identical
+		// blank content — semantically what a size-only run models).
+		tag := cf.writeTag
+		if data != nil {
+			tag = castore.HashBytes(data)
+		}
+		if cf.fs.segTags == nil {
+			cf.fs.segTags = map[int64]uint64{}
+		}
+		cf.fs.segTags[off] = tag
+	}
 	if end := off + size; end > cf.fs.logicalSize {
 		cf.fs.logicalSize = end
 	}
@@ -107,4 +122,17 @@ func (cf *ClientFile) WriteAt(off, size int64, data []byte) error {
 		sys.onWrite(sys.writeOps)
 	}
 	return nil
+}
+
+// WriteAtTagged is WriteAt with an explicit content tag for the dedup
+// layer: at benchmark scale payloads are size-only (data == nil), so the
+// caller supplies a 64-bit stand-in for the segment's content identity —
+// two segments carry equal tags exactly when their bytes would be equal.
+// With real payload data the tag is ignored (the payload's own hash wins);
+// without dedup the tag is ignored entirely.
+func (cf *ClientFile) WriteAtTagged(off, size int64, data []byte, tag uint64) error {
+	cf.writeTag = tag
+	err := cf.WriteAt(off, size, data)
+	cf.writeTag = 0
+	return err
 }

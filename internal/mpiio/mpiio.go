@@ -47,6 +47,36 @@ type Deleter interface {
 	Delete(off, size int64) (int, error)
 }
 
+// Flusher is implemented by files that can force the driver's write-back
+// without closing the handle (MPI_File_sync). UniviStor triggers the
+// asynchronous server-side flush; drivers with synchronous writes have
+// nothing to flush and do not implement it.
+type Flusher interface {
+	// Flush is collective: every rank of the application must call it.
+	Flush() error
+}
+
+// Tagger is implemented by files whose size-only writes can carry a content
+// tag. UniviStor folds the tag into the dedup layer's block fingerprints:
+// two writes with equal tags at the same place stand for identical bytes,
+// so a workload can model unchanged checkpoint regions without shipping
+// payloads. Drivers without dedup ignore the tag.
+type Tagger interface {
+	// WriteAtTagged is WriteAt with a 64-bit content identity for the
+	// written range. With real payload data the tag is ignored.
+	WriteAtTagged(off, size int64, data []byte, tag uint64) error
+}
+
+// WriteTagged writes through f's Tagger interface when it has one and
+// falls back to a plain WriteAt otherwise, so workloads can tag segments
+// without caring which driver is underneath.
+func WriteTagged(f File, off, size int64, data []byte, tag uint64) error {
+	if t, ok := f.(Tagger); ok {
+		return t.WriteAtTagged(off, size, data, tag)
+	}
+	return f.WriteAt(off, size, data)
+}
+
 // Driver is an ADIO file-system driver. Open is collective: every rank of
 // the application must call it with identical arguments.
 type Driver interface {

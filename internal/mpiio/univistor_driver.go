@@ -75,4 +75,17 @@ func (f *univistorFile) Delete(off, size int64) (int, error) {
 	return f.cf.Delete(off, size)
 }
 
-var _ Deleter = (*univistorFile)(nil)
+// WriteAtTagged forwards the content tag to the dedup fingerprint (see
+// core.ClientFile.WriteAtTagged).
+func (f *univistorFile) WriteAtTagged(off, size int64, data []byte, tag uint64) error {
+	return f.cf.WriteAtTagged(off, size, data, tag)
+}
+
+// Flush triggers the asynchronous server-side flush without closing.
+func (f *univistorFile) Flush() error { return f.cf.Flush() }
+
+var (
+	_ Deleter = (*univistorFile)(nil)
+	_ Tagger  = (*univistorFile)(nil)
+	_ Flusher = (*univistorFile)(nil)
+)

@@ -25,6 +25,7 @@ const (
 	pidAllocator = 4
 	pidSolver    = 5
 	pidMetaPlane = 6
+	pidCAS       = 7
 )
 
 // chromeEvent is one entry of the trace-event array.
@@ -69,6 +70,9 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 	}
 	if len(r.metaSamples) > 0 {
 		meta(pidMetaPlane, "metaplane")
+	}
+	if len(r.casSamples) > 0 {
+		meta(pidCAS, "cas")
 	}
 	for i, tr := range r.tracks {
 		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Pid: pidTracks,
@@ -132,6 +136,20 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 				Ts: usec(float64(s.t)), Pid: pidMetaPlane, Tid: 1,
 				Args: map[string]any{"cumulative": s.ops[i]}})
 		}
+	}
+	// Content-addressed store telemetry: cumulative logical vs physical
+	// flush bytes and the dead bytes awaiting GC. Absent entirely without
+	// dedup, so legacy exports are unchanged.
+	for _, s := range r.casSamples {
+		out = append(out, chromeEvent{Name: "cas.logical_bytes", Ph: "C",
+			Ts: usec(float64(s.t)), Pid: pidCAS, Tid: 1,
+			Args: map[string]any{"cumulative": s.logical}})
+		out = append(out, chromeEvent{Name: "cas.physical_bytes", Ph: "C",
+			Ts: usec(float64(s.t)), Pid: pidCAS, Tid: 1,
+			Args: map[string]any{"cumulative": s.physical}})
+		out = append(out, chromeEvent{Name: "cas.dead_bytes", Ph: "C",
+			Ts: usec(float64(s.t)), Pid: pidCAS, Tid: 1,
+			Args: map[string]any{"pending": s.dead}})
 	}
 	// Worker-pool telemetry: the batch fan-out timeline plus one cumulative
 	// task counter per worker slot. Absent entirely in serial runs, so

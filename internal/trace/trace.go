@@ -44,6 +44,8 @@ const (
 	CatReplicate Category = "replicate"
 	// CatFlow: fluid-flow transfers inside the simulation engine.
 	CatFlow Category = "flow"
+	// CatCAS: content-addressed store operations (dedup planning, GC flows).
+	CatCAS Category = "cas"
 	// CatChaos: fault injections and invariant sweeps of the chaos harness.
 	CatChaos Category = "chaos"
 	// CatSim: engine-level diagnostics (the Tracef compat shim).
@@ -114,6 +116,16 @@ type metaSample struct {
 	ops    []int64
 }
 
+// casSample is one point of the content-addressed store's timeline: the
+// cumulative logical bytes presented to flush versus the physical bytes
+// actually moved, plus the dead bytes awaiting GC at that instant.
+type casSample struct {
+	t        sim.Time
+	logical  int64
+	physical int64
+	dead     int64
+}
+
 // parallelSample is one point of the worker-pool timeline: the fan-out
 // width and work of one parallel batch. These are host-execution
 // telemetry — task placement is work-stealing — so the timeline is not
@@ -142,6 +154,8 @@ type Recorder struct {
 	allocSamples []allocSample // allocator-counter timeline (sim.AllocTracer)
 
 	metaSamples []metaSample // metadata-plane per-shard op timeline
+
+	casSamples []casSample // CAS logical-vs-physical byte timeline
 
 	// Worker-pool telemetry (sim.ParallelTracer): the batch timeline and
 	// cumulative tasks per worker slot.
@@ -364,6 +378,22 @@ func (r *Recorder) MetaSample(t sim.Time, shards []int, ops []int64) {
 		shards: append([]int(nil), shards...),
 		ops:    append([]int64(nil), ops...),
 	})
+}
+
+// CASSample records the content-addressed store's cumulative logical and
+// physical flush bytes plus the dead bytes pending GC — the
+// logical-vs-physical counter track of the dedup layer.
+func (r *Recorder) CASSample(t sim.Time, logical, physical, dead int64) {
+	if r == nil {
+		return
+	}
+	r.note(t)
+	// Same-instant updates supersede each other: keep the last state.
+	if n := len(r.casSamples); n > 0 && r.casSamples[n-1].t == t {
+		r.casSamples[n-1] = casSample{t: t, logical: logical, physical: physical, dead: dead}
+		return
+	}
+	r.casSamples = append(r.casSamples, casSample{t: t, logical: logical, physical: physical, dead: dead})
 }
 
 // ParallelSample records one worker-pool batch (sim.ParallelTracer hook):
