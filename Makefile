@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke meta-smoke dedup-smoke
+.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke meta-smoke dedup-smoke gateway-smoke
 
 all: check
 
@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 # The full CI gate: compile, static checks, race-enabled tests, chaos gates.
-check: build vet race chaos-smoke meta-smoke dedup-smoke
+check: build vet race chaos-smoke meta-smoke dedup-smoke gateway-smoke
 
 # Every figure workload under seeded fault injection with all invariant
 # sweeps; exits non-zero on any violation.
@@ -52,13 +52,29 @@ dedup-smoke:
 	done
 	@echo "dedup-smoke: CAS invariants held across 3 seeds with mid-GC crash"
 
+# Gateway chaos gate: the multi-tenant QoS mix driven open-loop into
+# overload (arrivals well past the per-tenant sustained rate) on a 3-shard
+# replicated metadata plane, with a shard-leader metacrash landing mid-run.
+# The chaos sweep patrols the gateway's admission invariants (token
+# balances, quotas, flow-group accounting) alongside the system's. Three
+# seeds; univistor-sim exits 1 on any violation.
+gateway-smoke:
+	for seed in 1 2 3; do \
+		$(GO) run ./cmd/univistor-sim -gateway -tenants 32 -qos -zipf 1.4 \
+			-gw-arrival 12 -gw-seconds 2 -gw-seed $$seed \
+			-meta-shards 3 -meta-replicas 3 \
+			-chaos "seed=$$seed,check=0.2,horizon=4,metacrash=0@0.4+0.5,metacrash=1@0.8" \
+			> /dev/null || exit 1; \
+	done
+	@echo "gateway-smoke: gateway + system invariants held across 3 seeds under overload and metacrash"
+
 # Quick paper-figure benchmark sweep.
 bench:
 	$(GO) run ./cmd/univibench -quick -all
 
 # Wall-clock comparison of the incremental vs global flow allocator over
 # the quick figure sweeps. Override the output with PERF_OUT=path.
-PERF_OUT ?= BENCH_PR8.json
+PERF_OUT ?= BENCH_PR9.json
 bench-perf:
 	$(GO) run ./cmd/univibench -quick -perf -out $(PERF_OUT)
 

@@ -21,6 +21,7 @@ import (
 	"univistor/internal/chaos"
 	"univistor/internal/core"
 	"univistor/internal/dataelevator"
+	"univistor/internal/gateway"
 	"univistor/internal/lustre"
 	"univistor/internal/meta"
 	"univistor/internal/metaplane"
@@ -63,6 +64,9 @@ type Output struct {
 	Alloc *sim.AllocStats `json:"alloc,omitempty"`
 	// TraceSummary digests the recorded spans when -trace is given.
 	TraceSummary *trace.Summary `json:"trace_summary,omitempty"`
+	// Gateway is the multi-tenant front-end report when -gateway is given
+	// (univistor driver only).
+	Gateway *gateway.Report `json:"gateway,omitempty"`
 	// Chaos is the fault-injection and invariant report when -chaos is
 	// given. Same seed and flags, byte-identical document.
 	Chaos *chaos.Report `json:"chaos,omitempty"`
@@ -99,7 +103,18 @@ func main() {
 		ckptRetain = flag.Int("ckpt-retain", 0,
 			"checkpoint: keep only this many newest step files, deleting older ones (0 = keep all)")
 		ckptSeed = flag.Int64("ckpt-seed", 1, "checkpoint: mutation-pattern seed")
-		traceTo  = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this path")
+		gwMode = flag.Bool("gateway", false,
+			"drive the system through the multi-tenant QoS gateway instead of the micro workload (univistor driver only)")
+		tenants = flag.Int("tenants", 64, "gateway: simulated tenant count")
+		zipfS   = flag.Float64("zipf", 1.2, "gateway: Zipf skew of object popularity (>1)")
+		qos     = flag.Bool("qos", false, "gateway: enable per-tenant token-bucket admission, byte quotas and flow-group rate caps")
+		gwOps   = flag.Int("gw-ops", 0, "gateway: closed-loop ops per tenant (0 = gateway default)")
+		gwRate  = flag.Float64("gw-arrival", 0,
+			"gateway: open-loop arrivals per tenant per virtual second (>0 switches from closed to open loop)")
+		gwSecs = flag.Float64("gw-seconds", 0, "gateway: open-loop duration in virtual seconds (0 = gateway default)")
+		gwKiB  = flag.Int64("gw-kb", 0, "gateway: payload KiB per data op (0 = gateway default)")
+		gwSeed = flag.Int64("gw-seed", 1, "gateway: workload seed")
+		traceTo = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) to this path")
 		chaosIn  = flag.String("chaos", "", "chaos spec, e.g. seed=1,check=0.5,crash=0@2 (univistor driver only; exits 1 on invariant violations)")
 		alloc    = flag.String("alloc", "", "flow allocator: incremental (default) | global (also settable via UNIVISTOR_SIM_ALLOC)")
 		workers  = flag.Int("workers", 0, "solver worker pool size (0 = runtime.NumCPU(), also settable via UNIVISTOR_SIM_WORKERS; results are byte-identical at any value)")
@@ -116,6 +131,15 @@ func main() {
 	}
 	if *ckptSteps > 0 && *doRead {
 		fatal("-read is not supported with -ckpt (the checkpoint kernel is write-only)")
+	}
+	if *gwMode && *driver != "univistor" {
+		fatal("-gateway requires -driver univistor")
+	}
+	if !*gwMode && (*qos || *gwOps > 0 || *gwRate > 0 || *gwSecs > 0 || *gwKiB > 0) {
+		fatal("-qos and -gw-* flags require -gateway")
+	}
+	if *gwMode && (*ckptSteps > 0 || *doRead || *doFlush) {
+		fatal("-gateway drives its own workload; drop -ckpt/-read/-flush")
 	}
 
 	tc := topology.Cori()
@@ -219,6 +243,82 @@ func main() {
 		env = mustEnv("lustre", mpiio.NewLustreDriver(lustre.NewFS(w.Cluster), tc.SharedFileEff))
 	default:
 		fatal("unknown driver %q", *driver)
+	}
+
+	if *gwMode {
+		gcfg := gateway.DefaultConfig()
+		gcfg.Tenants = *tenants
+		gcfg.ZipfS = *zipfS
+		gcfg.QoS = *qos
+		gcfg.Seed = *gwSeed
+		if *gwOps > 0 {
+			gcfg.OpsPerTenant = *gwOps
+		}
+		if *gwKiB > 0 {
+			gcfg.OpBytes = *gwKiB << 10
+		}
+		if *gwRate > 0 {
+			gcfg.ArrivalRate = *gwRate
+			gcfg.OpsPerTenant = 0
+			gcfg.DurationSeconds = 3
+		}
+		if *gwSecs > 0 {
+			gcfg.DurationSeconds = *gwSecs
+		}
+		g, err := gateway.Start(uv.Sys, gcfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if harness != nil {
+			// The chaos sweep also patrols the gateway's admission-state
+			// invariants while faults are landing.
+			harness.AddInvariant(g.CheckInvariants)
+		}
+		end := e.Run()
+		if d := e.Deadlocked(); d != 0 {
+			fatal("%d simulated processes deadlocked", d)
+		}
+		if err := g.Err(); err != nil {
+			fatal("gateway: %v", err)
+		}
+		if viol := g.CheckInvariants(); len(viol) > 0 {
+			fatal("gateway invariants violated:\n  %s", strings.Join(viol, "\n  "))
+		}
+		rep := g.Report()
+		out := Output{
+			Driver: *driver, Procs: gcfg.Tenants, Nodes: nodes,
+			VirtualEnd: float64(end),
+			Gateway:    &rep,
+		}
+		st := uv.Sys.Stats()
+		out.Stats = &st
+		d := uv.Sys.MetaOpDetail()
+		out.MetaOps = &d
+		if pl := uv.Sys.Plane(); pl != nil {
+			pst := pl.Stats()
+			out.MetaPlane = &pst
+		}
+		as := e.AllocStats()
+		out.Alloc = &as
+		if harness != nil {
+			crep := harness.Finish()
+			out.Chaos = &crep
+		}
+		if rec != nil {
+			if err := rec.ExportChromeFile(*traceTo); err != nil {
+				fatal("writing trace: %v", err)
+			}
+			out.TraceSummary = rec.Summarize(8)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal("%v", err)
+		}
+		if out.Chaos != nil && len(out.Chaos.Violations) > 0 {
+			fatal("%d invariant violation(s) under chaos", len(out.Chaos.Violations))
+		}
+		return
 	}
 
 	cfg := workloads.MicroConfig{

@@ -338,6 +338,13 @@ func (st *stack) finish(jobs ...*mpi.Comm) {
 			st.UV.Sys.Shutdown()
 		}
 	})
+	st.drain()
+}
+
+// drain runs the engine to completion without installing a janitor — for
+// front-ends (the gateway) that manage system shutdown themselves — and
+// performs the same post-run bookkeeping as finish.
+func (st *stack) drain() {
 	st.E.Run()
 	if d := st.E.Deadlocked(); d != 0 {
 		panic(fmt.Sprintf("bench: %d processes deadlocked", d))

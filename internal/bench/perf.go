@@ -6,10 +6,11 @@ package bench
 // to the historical global solver) and across worker counts, so the only
 // thing that differs is how long the host takes to produce them — which
 // is exactly what this file measures and writes to the -out report
-// (BENCH_PR8.json by default). The report also embeds the figmeta
+// (BENCH_PR9.json by default). The report also embeds the figmeta
 // metadata-plane scaling figure (ops/s and p99 stat latency vs shard
-// count) and the figdedup content-addressed flush figure (logical vs
-// physical flushed bytes over the checkpoint kernel).
+// count), the figdedup content-addressed flush figure (logical vs
+// physical flushed bytes over the checkpoint kernel) and the figtail
+// gateway figure (tail latency and fairness vs offered load, QoS off/on).
 
 import (
 	"encoding/json"
@@ -41,7 +42,7 @@ type PerfFigure struct {
 	Alloc sim.AllocStats `json:"alloc"`
 }
 
-// PerfReport is the perf-mode output document (BENCH_PR8.json).
+// PerfReport is the perf-mode output document (BENCH_PR9.json).
 type PerfReport struct {
 	// Benchmark names the measurement series.
 	Benchmark string `json:"benchmark"`
@@ -63,6 +64,9 @@ type PerfReport struct {
 	// physical flushed GiB and end-to-end time, dedup off vs on, over the
 	// checkpoint kernel at a 10% inter-step change rate).
 	Dedup *Result `json:"dedup,omitempty"`
+	// Tail is the figtail gateway figure (p99/p999 write latency and
+	// Jain's fairness index vs per-tenant offered load, QoS off vs on).
+	Tail *Result `json:"tail,omitempty"`
 }
 
 // DefaultPerfFigures are the sweeps the perf mode times when none are
@@ -110,7 +114,7 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 	if workers <= 0 {
 		workers = sim.NewEngine().Workers()
 	}
-	rep := &PerfReport{Benchmark: "BENCH_PR8", Quick: quick, Workers: workers}
+	rep := &PerfReport{Benchmark: "BENCH_PR9", Quick: quick, Workers: workers}
 	say := func(format string, args ...any) {
 		if progress != nil {
 			fmt.Fprintf(progress, format+"\n", args...)
@@ -198,6 +202,10 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 	// logical-vs-physical data.
 	rep.Dedup = FigDedup(mo)
 	say("perf figdedup: dedup figure embedded (%d series)", len(rep.Dedup.Series))
+	// The gateway tail-latency figure: virtual-time data, run once and
+	// embedded so the artifact carries the PR9 QoS off/on comparison.
+	rep.Tail = FigTail(mo)
+	say("perf figtail: gateway tail figure embedded (%d series)", len(rep.Tail.Series))
 	return rep, nil
 }
 

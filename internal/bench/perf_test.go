@@ -12,7 +12,7 @@ func TestRunPerfReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunPerf: %v", err)
 	}
-	if rep.Benchmark != "BENCH_PR8" || !rep.Quick {
+	if rep.Benchmark != "BENCH_PR9" || !rep.Quick {
 		t.Fatalf("bad header: %+v", rep)
 	}
 	if rep.MetaScaling == nil || rep.MetaScaling.ID != "figmeta" || len(rep.MetaScaling.Series) == 0 {
@@ -20,6 +20,9 @@ func TestRunPerfReportShape(t *testing.T) {
 	}
 	if rep.Dedup == nil || rep.Dedup.ID != "figdedup" || len(rep.Dedup.Series) != 4 {
 		t.Fatalf("dedup figure not embedded: %+v", rep.Dedup)
+	}
+	if rep.Tail == nil || rep.Tail.ID != "figtail" || len(rep.Tail.Series) != 6 {
+		t.Fatalf("gateway tail figure not embedded: %+v", rep.Tail)
 	}
 	if rep.Workers < 1 {
 		t.Fatalf("worker count not recorded: %+v", rep)

@@ -31,6 +31,17 @@ type Harness struct {
 	seen       map[string]bool
 	violations []string
 	finished   bool
+
+	// extra are additional invariant sources (e.g. the gateway's
+	// admission-conservation checks) swept alongside the system's own.
+	extra []func() []string
+}
+
+// AddInvariant registers an extra invariant source. Its lines are swept at
+// every stage exactly like System.CheckInvariants — deterministic output,
+// empty slice when clean. Register before the run starts.
+func (h *Harness) AddInvariant(fn func() []string) {
+	h.extra = append(h.extra, fn)
 }
 
 // Report is the harness's machine-readable outcome, embedded in tool JSON.
@@ -268,7 +279,11 @@ func (h *Harness) record(what string) {
 func (h *Harness) sweep(stage string) {
 	h.checks++
 	h.tr.Instant(h.e.Now(), string(trace.CatChaos), "sweep:"+stage)
-	for _, v := range h.sys.CheckInvariants() {
+	viols := h.sys.CheckInvariants()
+	for _, fn := range h.extra {
+		viols = append(viols, fn()...)
+	}
+	for _, v := range viols {
 		if h.seen[v] {
 			continue
 		}

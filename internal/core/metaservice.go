@@ -25,6 +25,8 @@ type MetaOpDetail struct {
 	Gets      int64 `json:"gets"`
 	Coverings int64 `json:"coverings"`
 	Deletes   int64 `json:"deletes"`
+	// StatOps counts client Stat calls (size resolution without open).
+	StatOps int64 `json:"stat_ops"`
 	// PerServer is indexed by metadata server (ring mode) or shard id
 	// (plane mode) and counts the charged ops each served.
 	PerServer []int64 `json:"per_server"`

@@ -1,0 +1,54 @@
+package core
+
+// Stat: the gateway's tenant-visible metadata operation. Unlike Open it is
+// non-collective — a single client resolves one file's current logical
+// size through the metadata service, paying one client round trip.
+
+import (
+	"univistor/internal/meta"
+	"univistor/internal/trace"
+)
+
+// FileInfo is the result of a Stat.
+type FileInfo struct {
+	Name string
+	// Size is the file's logical size in bytes (the extent of written
+	// data, flushed or not).
+	Size int64
+}
+
+// Stat resolves a file's logical size through the metadata service. The
+// round trip is charged against the file's home metadata server in legacy
+// ring mode, or routed through the metadata plane (the owning shard's
+// leader, transport + serialized service) when Config.MetaShards is set —
+// the same dispatch every other client metadata op takes. A stat of a
+// nonexistent file costs the same round trip (the server still had to
+// look) and reports ok = false.
+func (c *Client) Stat(name string) (FileInfo, bool) {
+	sys := c.sys
+	p := c.rank.P
+	sp := sys.W.Trace.Begin(p, trace.CatMeta, "stat")
+	defer func() { sp.End(p.Now()) }()
+	sys.metaDetail.StatOps++
+
+	fs, ok := sys.files[name]
+	if sys.plane != nil {
+		// Route through the plane: the shard owning the file's first
+		// range serves the stat (a nonexistent name resolves on the
+		// zero-fid shard — the server that would own it).
+		var fid meta.FileID
+		if ok {
+			fid = fs.fid
+		}
+		psp := sys.W.Trace.Begin(p, trace.CatMetaPlane, "plane-stat")
+		sys.plane.Stat(p, c.rank.Node(), fid, 0)
+		psp.End(p.Now())
+		sys.stats.MetaOps++
+	} else {
+		sys.chargeMetaOp(p, c.rank.Node(), sys.homeServer(name))
+	}
+	if !ok {
+		return FileInfo{Name: name}, false
+	}
+	return FileInfo{Name: name, Size: fs.logicalSize}, true
+}

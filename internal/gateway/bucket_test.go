@@ -1,0 +1,114 @@
+package gateway
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTokenBucketZeroRate(t *testing.T) {
+	// A zero-rate bucket is a prepaid allowance: admits until drained,
+	// then rejects everything with a positive cost.
+	b := NewTokenBucket(0, 100, 0)
+	if wait, ok := b.Admit(0, 60); !ok || wait != 0 {
+		t.Fatalf("Admit(60) = (%v, %v), want (0, true)", wait, ok)
+	}
+	if _, ok := b.Admit(0, 50); ok {
+		t.Fatal("Admit(50) with 40 tokens and zero rate should reject")
+	}
+	if wait, ok := b.Admit(0, 40); !ok || wait != 0 {
+		t.Fatalf("Admit(40) = (%v, %v), want (0, true)", wait, ok)
+	}
+	// Idle gaps refill nothing at rate 0.
+	if _, ok := b.Admit(1000, 1); ok {
+		t.Fatal("drained zero-rate bucket admitted after idle gap")
+	}
+	if wait, ok := b.Admit(1000, 0); !ok || wait != 0 {
+		t.Fatalf("zero-cost op must always be admitted, got (%v, %v)", wait, ok)
+	}
+}
+
+func TestTokenBucketBurstExceeded(t *testing.T) {
+	// A cost above the bucket capacity can never be admitted, full bucket
+	// and positive rate notwithstanding.
+	b := NewTokenBucket(100, 50, 0)
+	if _, ok := b.Admit(0, 51); ok {
+		t.Fatal("cost above burst was admitted")
+	}
+	// The rejection must not have consumed anything.
+	if got := b.Tokens(0); got != 50 {
+		t.Fatalf("tokens after rejection = %v, want 50", got)
+	}
+	if wait, ok := b.Admit(0, 50); !ok || wait != 0 {
+		t.Fatalf("Admit(burst) = (%v, %v), want (0, true)", wait, ok)
+	}
+}
+
+func TestTokenBucketRefillAcrossIdleGap(t *testing.T) {
+	// Refill accrues over idle gaps but is capped at the burst.
+	b := NewTokenBucket(10, 50, 0)
+	if _, ok := b.Admit(0, 50); !ok {
+		t.Fatal("draining the full bucket failed")
+	}
+	// 3 s of idle → 30 tokens.
+	if got := b.Tokens(3); math.Abs(got-30) > 1e-12 {
+		t.Fatalf("tokens after 3 s idle = %v, want 30", got)
+	}
+	// A 100 s gap must cap at burst, not 1000 tokens.
+	if got := b.Tokens(103); got != 50 {
+		t.Fatalf("tokens after long idle = %v, want 50 (capped at burst)", got)
+	}
+	if wait, ok := b.Admit(103, 50); !ok || wait != 0 {
+		t.Fatalf("Admit(50) after cap = (%v, %v), want (0, true)", wait, ok)
+	}
+}
+
+func TestTokenBucketTokensIsPure(t *testing.T) {
+	// Tokens is observability-only: probing the bucket mid-shaping-wait
+	// (as the chaos invariant sweep does) must not rewind `last` and
+	// re-credit refill that the pre-charged deficit already spent.
+	b := NewTokenBucket(1, 2, 0)
+	if wait, ok := b.Admit(0, 1); !ok || wait != 0 {
+		t.Fatalf("Admit(1) = (%v, %v), want (0, true)", wait, ok)
+	}
+	// 1 token left, cost 2 → deficit 1, wait 1 s, last pre-charged to 1.
+	wait, ok := b.Admit(0, 2)
+	if !ok || math.Abs(wait-1) > 1e-12 {
+		t.Fatalf("Admit(2) = (%v, %v), want (1, true)", wait, ok)
+	}
+	// Probe during the shaping wait, then after it: the balance at t=2
+	// must be exactly the 1 s of post-admission refill. The buggy
+	// mutating Tokens rewound last to 0.5 and reported 1.5 here.
+	if got := b.Tokens(0.5); got != 0 {
+		t.Fatalf("Tokens(0.5) mid-wait = %v, want 0", got)
+	}
+	if got := b.Tokens(2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Tokens(2) = %v, want 1 (mid-wait probe must not double-credit)", got)
+	}
+	// Repeated probes at the same instant agree — no hidden state writes.
+	if a, c := b.Tokens(2), b.Tokens(2); a != c {
+		t.Fatalf("Tokens not idempotent: %v then %v", a, c)
+	}
+}
+
+func TestTokenBucketShapingWait(t *testing.T) {
+	// Insufficient tokens shape (wait), with the wait pre-charged against
+	// future refill.
+	b := NewTokenBucket(5, 30, 0)
+	if wait, ok := b.Admit(0, 30); !ok || wait != 0 {
+		t.Fatalf("Admit(30) = (%v, %v), want (0, true)", wait, ok)
+	}
+	// Empty bucket, cost 20 at rate 5 → wait 4 s, bucket empty at the
+	// admission instant.
+	wait, ok := b.Admit(0, 20)
+	if !ok || math.Abs(wait-4) > 1e-12 {
+		t.Fatalf("Admit(20) on empty bucket = (%v, %v), want (4, true)", wait, ok)
+	}
+	if got := b.Tokens(4); got != 0 {
+		t.Fatalf("tokens at admission instant = %v, want 0 (pre-charged)", got)
+	}
+	// The next op at the admission instant waits its full cost again.
+	wait, ok = b.Admit(4, 10)
+	if !ok || math.Abs(wait-2) > 1e-12 {
+		t.Fatalf("Admit(10) = (%v, %v), want (2, true)", wait, ok)
+	}
+}

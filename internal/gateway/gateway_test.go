@@ -1,0 +1,263 @@
+package gateway
+
+import (
+	"encoding/json"
+	"testing"
+
+	"univistor/internal/core"
+	"univistor/internal/mpi"
+	"univistor/internal/schedule"
+	"univistor/internal/sim"
+	"univistor/internal/topology"
+)
+
+const mib = int64(1) << 20
+
+// testSystem builds a small 2-node stack for gateway runs.
+func testSystem(t *testing.T) *core.System {
+	t.Helper()
+	tc := topology.Cori()
+	tc.Nodes = 2
+	tc.CoresPerNode = 8
+	tc.DRAMPerNode = 256 * mib
+	tc.BBNodes = 2
+	tc.BBCapPerNode = 512 * mib
+	tc.BBStripeSize = 1 * mib
+	tc.OSTs = 8
+	e := sim.NewEngine()
+	w := mpi.NewWorld(e, topology.New(e, tc), schedule.InterferenceAware)
+	cc := core.DefaultConfig()
+	cc.ChunkSize = 1 * mib
+	cc.MetaRangeSize = 16 * mib
+	sys, err := core.NewSystem(w, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// smallConfig is a quick closed-loop mix.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Tenants = 8
+	cfg.OpsPerTenant = 12
+	cfg.OpBytes = 1 * mib
+	cfg.ThinkSeconds = 0.05
+	cfg.Seed = 7
+	return cfg
+}
+
+// run drives a gateway to completion and fails the test on tenant errors,
+// deadlock, or invariant violations.
+func run(t *testing.T, sys *core.System, cfg Config) (*Gateway, Report) {
+	t.Helper()
+	g, err := Start(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.W.E.Run()
+	if d := sys.W.E.Deadlocked(); d != 0 {
+		t.Fatalf("%d processes deadlocked", d)
+	}
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if viol := g.CheckInvariants(); len(viol) > 0 {
+		t.Fatalf("gateway invariants violated: %v", viol)
+	}
+	if viol := sys.CheckInvariants(); len(viol) > 0 {
+		t.Fatalf("system invariants violated: %v", viol)
+	}
+	return g, g.Report()
+}
+
+func TestGatewayClosedLoopPassThrough(t *testing.T) {
+	sys := testSystem(t)
+	cfg := smallConfig()
+	cfg.QoS = false
+	_, rep := run(t, sys, cfg)
+
+	want := int64(cfg.Tenants * cfg.OpsPerTenant)
+	if rep.Issued != want || rep.Completed != want {
+		t.Fatalf("issued/completed = %d/%d, want %d/%d", rep.Issued, rep.Completed, want, want)
+	}
+	if rep.Rejected != 0 || rep.QuotaDenied != 0 {
+		t.Fatalf("pass-through run rejected ops: %+v", rep)
+	}
+	if rep.Write.Count == 0 || rep.Read.Count == 0 || rep.Stat.Count == 0 {
+		t.Fatalf("op mix missing a kind: write=%d read=%d stat=%d",
+			rep.Write.Count, rep.Read.Count, rep.Stat.Count)
+	}
+	if rep.Write.Count+rep.Read.Count+rep.Stat.Count != int(want) {
+		t.Fatalf("latency counts don't sum to completed ops")
+	}
+	for _, d := range []LatencyDigest{rep.Write, rep.Read, rep.Stat} {
+		if d.P50 <= 0 || d.P99 < d.P50 || d.P999 < d.P99 || d.Max < d.P999 {
+			t.Fatalf("latency digest not ordered: %+v", d)
+		}
+	}
+	if rep.JainFairness <= 0 || rep.JainFairness > 1 {
+		t.Fatalf("Jain's index %v outside (0, 1]", rep.JainFairness)
+	}
+	if rep.AdmissionWaitSeconds != 0 {
+		t.Fatalf("pass-through run has admission wait %v", rep.AdmissionWaitSeconds)
+	}
+	if rep.DeliveredBytes == 0 {
+		t.Fatal("no bytes delivered")
+	}
+}
+
+func TestGatewayQoSShapesAndCaps(t *testing.T) {
+	sys := testSystem(t)
+	cfg := smallConfig()
+	cfg.QoS = true
+	cfg.TenantRateBps = 4 << 20 // an op is 1 MiB
+	// Burst of exactly one op: every admission drains the bucket, so any
+	// op arriving before a full refill (think time ≪ cost/rate) waits.
+	cfg.TenantBurstBytes = 1 << 20
+	_, rep := run(t, sys, cfg)
+
+	if !rep.QoS {
+		t.Fatal("report does not mark QoS")
+	}
+	want := int64(cfg.Tenants * cfg.OpsPerTenant)
+	if rep.Issued != want {
+		t.Fatalf("issued = %d, want %d", rep.Issued, want)
+	}
+	if rep.Completed+rep.Rejected != rep.Issued {
+		t.Fatalf("conservation: %d completed + %d rejected != %d issued",
+			rep.Completed, rep.Rejected, rep.Issued)
+	}
+	if rep.AdmissionWaitSeconds <= 0 {
+		t.Fatal("tight token bucket produced no shaping delay")
+	}
+}
+
+func TestGatewayQuotaDeniesDeterministically(t *testing.T) {
+	sys := testSystem(t)
+	cfg := smallConfig()
+	cfg.QoS = true
+	cfg.TenantQuotaBytes = 4 * mib // each tenant gets ~4 data ops
+	_, rep := run(t, sys, cfg)
+
+	if rep.QuotaDenied == 0 {
+		t.Fatal("tight quota denied nothing")
+	}
+	if rep.AdmittedBytes > int64(cfg.Tenants)*cfg.TenantQuotaBytes {
+		t.Fatalf("admitted %d bytes over the aggregate quota %d",
+			rep.AdmittedBytes, int64(cfg.Tenants)*cfg.TenantQuotaBytes)
+	}
+}
+
+func TestGatewayOpenLoopOverloadInflatesTail(t *testing.T) {
+	sys := testSystem(t)
+	cfg := smallConfig()
+	cfg.QoS = true
+	cfg.ArrivalRate = 20 // 20 ops/s of 1 MiB against an 8 MiB/s tenant cap
+	cfg.DurationSeconds = 4
+	cfg.OpsPerTenant = 0
+	_, rep := run(t, sys, cfg)
+
+	if !rep.OpenLoop {
+		t.Fatal("report does not mark open loop")
+	}
+	if rep.Write.Count == 0 {
+		t.Fatal("no writes completed")
+	}
+	// Overloaded open loop: queueing delay dominates, so the tail must
+	// sit well above the median.
+	if rep.Write.P99 < rep.Write.P50*1.5 {
+		t.Errorf("overload did not inflate the tail: p50=%v p99=%v",
+			rep.Write.P50, rep.Write.P99)
+	}
+}
+
+// Two identical runs must produce byte-identical reports (the figure and
+// the smoke gate depend on it).
+func TestGatewayDeterminism(t *testing.T) {
+	digest := func() string {
+		sys := testSystem(t)
+		cfg := smallConfig()
+		cfg.QoS = true
+		_, rep := run(t, sys, cfg)
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(js)
+	}
+	a, b := digest(), digest()
+	if a != b {
+		t.Fatalf("reports differ across identical runs:\n%s\n%s", a, b)
+	}
+}
+
+// QoS off must leave the core completely untouched relative to a direct
+// drive: the gateway adds no resources and no admission state.
+func TestGatewayOffAddsNoResources(t *testing.T) {
+	sys := testSystem(t)
+	cfg := smallConfig()
+	cfg.QoS = false
+	g, _ := run(t, sys, cfg)
+	if g.ingress != nil {
+		t.Fatal("pass-through gateway created an ingress resource")
+	}
+	for _, tn := range g.tenants {
+		if tn.group != nil || tn.bucket != nil {
+			t.Fatal("pass-through gateway created admission state")
+		}
+	}
+}
+
+// Validate must reject QoS configs that would silently do nothing useful:
+// a burst below the per-op admission cost (every such op rejected, run
+// "succeeds" at ~100% rejects) and a peak at or below the sustained rate
+// (service always outlasts refill, so the bucket never shapes).
+func TestConfigValidateQoSEdges(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.QoS = true
+		return cfg
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("QoS defaults must validate, got %v", err)
+	}
+
+	cfg := base()
+	cfg.TenantBurstBytes = float64(cfg.OpBytes) - 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("TenantBurstBytes below OpBytes passed validation")
+	}
+
+	cfg = base()
+	cfg.TenantBurstBytes = float64(cfg.StatCostBytes) - 1
+	cfg.OpBytes = cfg.StatCostBytes - 1 // keep OpBytes admissible
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("TenantBurstBytes below StatCostBytes passed validation")
+	}
+
+	cfg = base()
+	cfg.TenantPeakBps = cfg.TenantRateBps
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("TenantPeakBps == TenantRateBps passed validation")
+	}
+	cfg.TenantPeakBps = cfg.TenantRateBps / 2
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("TenantPeakBps below TenantRateBps passed validation")
+	}
+	// 0 means "derive 4x rate" and stays legal; so does an exact-cost burst.
+	cfg = base()
+	cfg.TenantPeakBps = 0
+	cfg.TenantBurstBytes = float64(cfg.OpBytes)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("derived peak + exact-cost burst must validate, got %v", err)
+	}
+	// With QoS off none of the bucket constraints apply.
+	cfg = base()
+	cfg.QoS = false
+	cfg.TenantBurstBytes = 1
+	cfg.TenantPeakBps = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("QoS-off config must ignore bucket constraints, got %v", err)
+	}
+}

@@ -19,10 +19,12 @@ type CategorySummary struct {
 	Count int `json:"count"`
 	// TotalSeconds is the summed span duration in virtual seconds.
 	TotalSeconds float64 `json:"total_seconds"`
-	// P50/P95/P99 are span-duration percentiles in virtual seconds.
-	P50 float64 `json:"p50_seconds"`
-	P95 float64 `json:"p95_seconds"`
-	P99 float64 `json:"p99_seconds"`
+	// P50/P95/P99/P999 are span-duration quantiles in virtual seconds,
+	// linearly interpolated between order statistics.
+	P50  float64 `json:"p50_seconds"`
+	P95  float64 `json:"p95_seconds"`
+	P99  float64 `json:"p99_seconds"`
+	P999 float64 `json:"p999_seconds"`
 	// MaxSeconds is the longest span.
 	MaxSeconds float64 `json:"max_seconds"`
 }
@@ -108,20 +110,40 @@ type MetaPlaneSummary struct {
 	TotalOps int64 `json:"total_ops"`
 }
 
-// percentile returns the q-quantile (0 < q ≤ 1) of sorted durations.
+// percentile returns the q-quantile (0 ≤ q ≤ 1) of sorted values by linear
+// interpolation between closest order statistics (the R-7 estimator): the
+// quantile position is h = q·(n−1) and the result interpolates between
+// sorted[⌊h⌋] and sorted[⌊h⌋+1]. Unlike nearest-rank rounding this keeps
+// p50 of an even-count set at the midpoint of the two middle values and
+// does not collapse high quantiles to the max for small sets.
 func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(q*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
+	if n == 1 {
+		return sorted[0]
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if q <= 0 {
+		return sorted[0]
 	}
-	return sorted[idx]
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	h := q * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
+
+// Quantile returns the q-quantile of sorted (ascending) values by linear
+// interpolation between closest order statistics — the estimator the
+// summary digest uses, exported for layers (gateway, bench) that compute
+// tail latencies over their own samples.
+func Quantile(sorted []float64, q float64) float64 { return percentile(sorted, q) }
 
 // Summarize digests the recording. maxResources bounds the resource list
 // (0 means all).
@@ -158,6 +180,7 @@ func (r *Recorder) Summarize(maxResources int) *Summary {
 			P50:          percentile(ds, 0.50),
 			P95:          percentile(ds, 0.95),
 			P99:          percentile(ds, 0.99),
+			P999:         percentile(ds, 0.999),
 			MaxSeconds:   ds[len(ds)-1],
 		})
 	}
@@ -242,11 +265,11 @@ func (s *Summary) Format(w io.Writer) {
 	fmt.Fprintf(w, "trace summary: %.6f virtual seconds, %d flows, %d instants\n",
 		s.VirtualSeconds, s.Flows, s.Instants)
 	if len(s.Spans) > 0 {
-		fmt.Fprintf(w, "%-14s %8s %12s %12s %12s %12s %12s\n",
-			"category", "spans", "total(s)", "p50(s)", "p95(s)", "p99(s)", "max(s)")
+		fmt.Fprintf(w, "%-14s %8s %12s %12s %12s %12s %12s %12s\n",
+			"category", "spans", "total(s)", "p50(s)", "p95(s)", "p99(s)", "p999(s)", "max(s)")
 		for _, c := range s.Spans {
-			fmt.Fprintf(w, "%-14s %8d %12.6f %12.6f %12.6f %12.6f %12.6f\n",
-				c.Category, c.Count, c.TotalSeconds, c.P50, c.P95, c.P99, c.MaxSeconds)
+			fmt.Fprintf(w, "%-14s %8d %12.6f %12.6f %12.6f %12.6f %12.6f %12.6f\n",
+				c.Category, c.Count, c.TotalSeconds, c.P50, c.P95, c.P99, c.P999, c.MaxSeconds)
 		}
 	}
 	if len(s.Resources) > 0 {

@@ -48,6 +48,8 @@ const (
 	CatCAS Category = "cas"
 	// CatChaos: fault injections and invariant sweeps of the chaos harness.
 	CatChaos Category = "chaos"
+	// CatGateway: multi-tenant gateway operations (admission, tenant ops).
+	CatGateway Category = "gateway"
 	// CatSim: engine-level diagnostics (the Tracef compat shim).
 	CatSim Category = "sim"
 )
