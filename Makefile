@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke meta-smoke dedup-smoke gateway-smoke
+.PHONY: all build vet test race race-diffcheck check bench bench-perf chaos-smoke meta-smoke dedup-smoke gateway-smoke split-smoke
 
 all: check
 
@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 # The full CI gate: compile, static checks, race-enabled tests, chaos gates.
-check: build vet race chaos-smoke meta-smoke dedup-smoke gateway-smoke
+check: build vet race chaos-smoke meta-smoke dedup-smoke gateway-smoke split-smoke
 
 # Every figure workload under seeded fault injection with all invariant
 # sweeps; exits non-zero on any violation.
@@ -68,13 +68,31 @@ gateway-smoke:
 	done
 	@echo "gateway-smoke: gateway + system invariants held across 3 seeds under overload and metacrash"
 
+# Online-split chaos gate: a gateway open-loop stat storm on a 3-shard,
+# R=3 plane with leased follower reads, an online shard split starting at
+# t=0.2, and the split target's neighbourhood hit by a shard-leader
+# metacrash at t=0.25 — inside the migration's transfer window for this
+# config — so failover, lease revocation and arc forwarding all land
+# mid-split. Three seeds; univistor-sim exits 1 on any invariant
+# violation (ledger, coverage, lease staleness, split bookkeeping).
+split-smoke:
+	for seed in 1 2 3; do \
+		$(GO) run ./cmd/univistor-sim -gateway -tenants 16 -gw-arrival 400 \
+			-gw-seconds 0.6 -gw-kb 8 \
+			-meta-shards 3 -meta-replicas 3 -meta-follower-reads \
+			-meta-split "1@0.2" \
+			-chaos "seed=$$seed,check=0.1,horizon=0.7,metacrash=1@0.25" \
+			> /dev/null || exit 1; \
+	done
+	@echo "split-smoke: online split + leased reads held across 3 seeds with mid-window metacrash"
+
 # Quick paper-figure benchmark sweep.
 bench:
 	$(GO) run ./cmd/univibench -quick -all
 
 # Wall-clock comparison of the incremental vs global flow allocator over
 # the quick figure sweeps. Override the output with PERF_OUT=path.
-PERF_OUT ?= BENCH_PR9.json
+PERF_OUT ?= BENCH_PR10.json
 bench-perf:
 	$(GO) run ./cmd/univibench -quick -perf -out $(PERF_OUT)
 

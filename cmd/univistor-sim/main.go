@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"univistor/internal/bb"
@@ -92,6 +93,12 @@ func main() {
 			"run the metadata service as this many replicated shards (0 = legacy single ring; univistor driver only)")
 		metaReplicas = flag.Int("meta-replicas", 1,
 			"replication factor per metadata shard (requires -meta-shards)")
+		metaFollowerReads = flag.Bool("meta-follower-reads", false,
+			"serve metadata Stat/Lookup from lease-holding followers (requires -meta-shards; wants -meta-replicas > 1)")
+		metaLease = flag.Float64("meta-lease", 0,
+			"follower-read lease duration in virtual seconds (0 = metaplane default; requires -meta-follower-reads)")
+		metaSplit = flag.String("meta-split", "",
+			"online shard-split schedule N@T[,N@T...]: at virtual time T run N back-to-back online splits (requires -meta-shards)")
 		dedup = flag.Bool("dedup", false,
 			"enable the content-addressed dedup flush layer (univistor driver only)")
 		dedupBlockMB = flag.Int64("dedup-block-mb", 0,
@@ -122,6 +129,23 @@ func main() {
 	flag.Parse()
 	if *metaReplicas > 1 && *metaShards == 0 {
 		fatal("-meta-replicas requires -meta-shards")
+	}
+	if *metaFollowerReads && *metaShards == 0 {
+		fatal("-meta-follower-reads requires -meta-shards")
+	}
+	if *metaLease > 0 && !*metaFollowerReads {
+		fatal("-meta-lease requires -meta-follower-reads")
+	}
+	var splitSched []splitEvent
+	if *metaSplit != "" {
+		if *metaShards == 0 || *driver != "univistor" {
+			fatal("-meta-split requires -meta-shards and -driver univistor")
+		}
+		var err error
+		splitSched, err = parseSplitSchedule(*metaSplit)
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 	if *dedup && *driver != "univistor" {
 		fatal("-dedup requires -driver univistor")
@@ -191,6 +215,8 @@ func main() {
 		cc.MetaShards = *metaShards
 		if *metaShards > 0 {
 			cc.MetaReplicas = *metaReplicas
+			cc.MetaFollowerReads = *metaFollowerReads
+			cc.MetaLeaseTime = *metaLease
 		}
 		if *dedup {
 			cc.Dedup = true
@@ -228,6 +254,29 @@ func main() {
 				fatal("%v", err)
 			}
 			harness = chaos.Arm(sys, spec)
+		}
+		// The -meta-split schedule: at each event's time run its splits
+		// back-to-back (a split refuses to start while the previous one is
+		// still migrating, so the scheduler polls for completion).
+		for _, se := range splitSched {
+			se := se
+			e.Go("meta-split-sched", func(p *sim.Proc) {
+				p.Sleep(se.at)
+				for i := 0; i < se.n; i++ {
+					for {
+						if _, ok := sys.MetaSplit(); ok {
+							break
+						}
+						p.Sleep(1e-4)
+					}
+					for {
+						if _, active := sys.Plane().Splitting(); !active {
+							break
+						}
+						p.Sleep(1e-4)
+					}
+				}
+			})
 		}
 	case "dataelevator":
 		bbs, err := bb.New(w.Cluster)
@@ -468,6 +517,40 @@ func main() {
 	if out.Chaos != nil && len(out.Chaos.Violations) > 0 {
 		fatal("%d invariant violation(s) under chaos", len(out.Chaos.Violations))
 	}
+}
+
+// splitEvent is one entry of the -meta-split schedule: n online splits
+// starting at virtual time at.
+type splitEvent struct {
+	n  int
+	at float64
+}
+
+func parseSplitSchedule(s string) ([]splitEvent, error) {
+	var out []splitEvent
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		nStr, atStr, ok := strings.Cut(tok, "@")
+		if !ok {
+			return nil, fmt.Errorf("-meta-split token %q: want N@T", tok)
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-meta-split token %q: bad split count %q", tok, nStr)
+		}
+		at, err := strconv.ParseFloat(atStr, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("-meta-split token %q: bad time %q", tok, atStr)
+		}
+		out = append(out, splitEvent{n: n, at: at})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-meta-split: empty schedule")
+	}
+	return out, nil
 }
 
 func mustEnv(name string, d mpiio.Driver) *mpiio.Env {

@@ -179,12 +179,13 @@ func ByID(id string) (func(Options) *Result, bool) {
 		"abl-striping": AblationStriping, "abl-laread": AblationLocationAwareRead,
 		"abl-centralmeta": AblationCentralMetadata, "abl-servers": AblationServersPerNode,
 		"abl-segsize": AblationSegmentSize,
-		// figmeta, figdedup and figtail are runnable by id and ride in the
-		// -perf report, but are deliberately not part of All(): -all output
-		// stays byte-identical with earlier releases.
+		// figmeta, figdedup, figtail and figsplit are runnable by id and
+		// ride in the -perf report, but are deliberately not part of
+		// All(): -all output stays byte-identical with earlier releases.
 		"figmeta":  FigMeta,
 		"figdedup": FigDedup,
 		"figtail":  FigTail,
+		"figsplit": FigSplit,
 	}
 	f, ok := m[id]
 	return f, ok
@@ -195,5 +196,5 @@ func IDs() []string {
 	return []string{"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
 		"fig7", "fig8", "fig9", "fig10",
 		"abl-striping", "abl-laread", "abl-centralmeta", "abl-servers", "abl-segsize",
-		"figmeta", "figdedup", "figtail"}
+		"figmeta", "figdedup", "figtail", "figsplit"}
 }

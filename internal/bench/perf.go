@@ -6,11 +6,13 @@ package bench
 // to the historical global solver) and across worker counts, so the only
 // thing that differs is how long the host takes to produce them — which
 // is exactly what this file measures and writes to the -out report
-// (BENCH_PR9.json by default). The report also embeds the figmeta
+// (BENCH_PR10.json by default). The report also embeds the figmeta
 // metadata-plane scaling figure (ops/s and p99 stat latency vs shard
 // count), the figdedup content-addressed flush figure (logical vs
-// physical flushed bytes over the checkpoint kernel) and the figtail
-// gateway figure (tail latency and fairness vs offered load, QoS off/on).
+// physical flushed bytes over the checkpoint kernel), the figtail
+// gateway figure (tail latency and fairness vs offered load, QoS off/on)
+// and the figsplit online-split figure (leased stat-storm scaling and
+// p99 through a live shard migration).
 
 import (
 	"encoding/json"
@@ -42,7 +44,7 @@ type PerfFigure struct {
 	Alloc sim.AllocStats `json:"alloc"`
 }
 
-// PerfReport is the perf-mode output document (BENCH_PR9.json).
+// PerfReport is the perf-mode output document (BENCH_PR10.json).
 type PerfReport struct {
 	// Benchmark names the measurement series.
 	Benchmark string `json:"benchmark"`
@@ -67,6 +69,10 @@ type PerfReport struct {
 	// Tail is the figtail gateway figure (p99/p999 write latency and
 	// Jain's fairness index vs per-tenant offered load, QoS off vs on).
 	Tail *Result `json:"tail,omitempty"`
+	// Split is the figsplit online-split figure (leader-only vs leased
+	// stat-storm throughput, and p99 stat latency before/during/after an
+	// online shard split).
+	Split *Result `json:"split_scaling,omitempty"`
 }
 
 // DefaultPerfFigures are the sweeps the perf mode times when none are
@@ -114,7 +120,7 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 	if workers <= 0 {
 		workers = sim.NewEngine().Workers()
 	}
-	rep := &PerfReport{Benchmark: "BENCH_PR9", Quick: quick, Workers: workers}
+	rep := &PerfReport{Benchmark: "BENCH_PR10", Quick: quick, Workers: workers}
 	say := func(format string, args ...any) {
 		if progress != nil {
 			fmt.Fprintf(progress, format+"\n", args...)
@@ -206,6 +212,10 @@ func RunPerf(o Options, quick bool, figures []string, reps int, progress io.Writ
 	// embedded so the artifact carries the PR9 QoS off/on comparison.
 	rep.Tail = FigTail(mo)
 	say("perf figtail: gateway tail figure embedded (%d series)", len(rep.Tail.Series))
+	// The online-split figure: leased stat-storm scaling plus the p99
+	// latency through a live migration — the PR10 artifact data.
+	rep.Split = FigSplit(mo)
+	say("perf figsplit: online-split figure embedded (%d series)", len(rep.Split.Series))
 	return rep, nil
 }
 

@@ -12,7 +12,7 @@ func TestRunPerfReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunPerf: %v", err)
 	}
-	if rep.Benchmark != "BENCH_PR9" || !rep.Quick {
+	if rep.Benchmark != "BENCH_PR10" || !rep.Quick {
 		t.Fatalf("bad header: %+v", rep)
 	}
 	if rep.MetaScaling == nil || rep.MetaScaling.ID != "figmeta" || len(rep.MetaScaling.Series) == 0 {
@@ -23,6 +23,9 @@ func TestRunPerfReportShape(t *testing.T) {
 	}
 	if rep.Tail == nil || rep.Tail.ID != "figtail" || len(rep.Tail.Series) != 6 {
 		t.Fatalf("gateway tail figure not embedded: %+v", rep.Tail)
+	}
+	if rep.Split == nil || rep.Split.ID != "figsplit" || len(rep.Split.Series) != 4 {
+		t.Fatalf("online-split figure not embedded: %+v", rep.Split)
 	}
 	if rep.Workers < 1 {
 		t.Fatalf("worker count not recorded: %+v", rep)

@@ -202,6 +202,16 @@ func (h *Harness) fire(f Fault) {
 		for _, b := range cl.BB {
 			h.degrade(b.BW, 0, f.Dur)
 		}
+	case KindMetaSplit:
+		// MetaSplit refuses when no plane is configured or a prior split is
+		// still migrating; it runs the transition sweep itself on success,
+		// and again (via SplitDone) when the migration completes.
+		shard, ok := h.sys.MetaSplit()
+		if !ok {
+			skip("no metadata plane or split already migrating")
+			return
+		}
+		h.record(fmt.Sprintf("injected %s (new shard %d)", f.String(), shard))
 	case KindMetaCrash:
 		// MetaCrashLeader refuses when no plane is configured, the shard is
 		// unknown, or the crash would kill the shard's last alive replica;

@@ -356,6 +356,46 @@ func TestMetaCrashDeterministic(t *testing.T) {
 	}
 }
 
+// TestMetaSplitUnderChaos splits a shard online mid-run and crashes a
+// leader shortly after: the reads must return exact bytes, the sweeps must
+// stay clean through the migration, and the plane must end with one more
+// shard, data genuinely moved.
+func TestMetaSplitUnderChaos(t *testing.T) {
+	rep, outcomes, sys := runMetaCrashScenario(t,
+		"seed=4,check=0.1,horizon=2,metasplit@0.3,metacrash=0@0.5", 3)
+	for _, o := range outcomes {
+		if o.Got != "ok" {
+			t.Errorf("rank %d outcome = %q under metasplit+metacrash, want ok", o.Rank, o.Got)
+		}
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("invariant violations: %v", rep.Violations)
+	}
+	if len(rep.Faults) != 2 {
+		t.Fatalf("faults = %v, want the metasplit and metacrash injections", rep.Faults)
+	}
+	if !contains(rep.Faults[0], "injected metasplit@") || !contains(rep.Faults[0], "new shard 3") {
+		t.Errorf("first fault %q is not the split injection", rep.Faults[0])
+	}
+	pl := sys.Plane()
+	if pl.Shards() != 4 {
+		t.Errorf("plane has %d shards after the split, want 4", pl.Shards())
+	}
+	st := pl.Stats()
+	if st.Splits != 1 || st.SplitRecords == 0 || st.SplitBytes == 0 {
+		t.Errorf("split moved nothing: %+v", st)
+	}
+}
+
+// TestMetaSplitSkips: a second metasplit firing while the first is still
+// migrating, or one in legacy ring mode, is recorded as skipped.
+func TestMetaSplitSkips(t *testing.T) {
+	rep, _, _ := runCrashScenario(t, "seed=1,metasplit@0.5", true)
+	if len(rep.Faults) != 1 || !contains(rep.Faults[0], "skipped") {
+		t.Errorf("legacy-mode metasplit not skipped: %v", rep.Faults)
+	}
+}
+
 // TestMetaCrashSkips: without a plane (legacy ring mode), with an unknown
 // shard, or when the crash would kill a shard's last alive replica (R=1),
 // the fault is recorded as skipped — never a panic or a violation.

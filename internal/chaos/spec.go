@@ -36,6 +36,11 @@ const (
 	// replica recovers (catch-up or snapshot install) after it. Requires
 	// MetaShards > 0; skipped otherwise.
 	KindMetaCrash = "metacrash"
+	// KindMetaSplit starts an online metadata-plane shard split: a new
+	// shard is minted and the moved hash arcs migrate as charged batches
+	// while the plane keeps serving. Requires MetaShards > 0; skipped
+	// otherwise, or when another split is still migrating.
+	KindMetaSplit = "metasplit"
 )
 
 // Degradable resource classes.
@@ -104,6 +109,8 @@ func (f Fault) String() string {
 			return fmt.Sprintf("metacrash=%d@%s+%s", f.Index, ftoa(float64(f.At)), ftoa(float64(f.Dur)))
 		}
 		return fmt.Sprintf("metacrash=%d@%s", f.Index, ftoa(float64(f.At)))
+	case KindMetaSplit:
+		return fmt.Sprintf("metasplit@%s", ftoa(float64(f.At)))
 	}
 	return "?" + f.Kind
 }
@@ -162,6 +169,7 @@ func (s Spec) String() string {
 //	stall=SRV@T+D              freeze server SRV's metadata service for D
 //	metacrash=SHARD@T[+D]      crash metadata-plane shard SHARD's leader at T
 //	                           (failover); recover the replica after D
+//	metasplit@T                start an online metadata shard split at T
 //	degrade=nic:I:F@T[+D]      cut node I's NIC to fraction F at T (for D)
 //	degrade=ost:I:F@T[+D]      cut OST I's bandwidth to fraction F
 //	degrade=bb:I:F@T[+D]       cut BB node I's bandwidth to fraction F
@@ -200,11 +208,16 @@ func Parse(s string) (Spec, error) {
 			f, err = parseDegrade(val, hasVal)
 			spec.Faults = append(spec.Faults, f)
 		default:
-			if strings.HasPrefix(tok, "bboutage@") {
+			switch {
+			case strings.HasPrefix(tok, "bboutage@"):
 				var f Fault
 				f, err = parseBBOutage(strings.TrimPrefix(tok, "bboutage@"))
 				spec.Faults = append(spec.Faults, f)
-			} else {
+			case strings.HasPrefix(tok, "metasplit@"):
+				var f Fault
+				f, err = parseMetaSplit(strings.TrimPrefix(tok, "metasplit@"))
+				spec.Faults = append(spec.Faults, f)
+			default:
 				err = fmt.Errorf("chaos: unknown spec token %q", tok)
 			}
 		}
@@ -328,6 +341,14 @@ func parseBBOutage(when string) (Fault, error) {
 	// An outage is a maximal degradation of every BB node; capacity is
 	// clamped (not zeroed) when armed so in-flight flows still drain.
 	return Fault{Kind: KindBBOutage, At: at, Dur: dur, Frac: 0}, nil
+}
+
+func parseMetaSplit(when string) (Fault, error) {
+	at, dur, err := parseWindow(when, false)
+	if err != nil || dur > 0 {
+		return Fault{}, fmt.Errorf("chaos: metasplit@%s: want a bare time (the migration's duration is the charged transfer, not a window)", when)
+	}
+	return Fault{Kind: KindMetaSplit, At: at}, nil
 }
 
 // parseWindow reads T or T+D.

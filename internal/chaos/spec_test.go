@@ -23,6 +23,7 @@ func TestParseRoundTrip(t *testing.T) {
 		"seed=1,bboutage@3+1.5",
 		"seed=1,metacrash=0@2",
 		"seed=1,metacrash=2@1.5+0.75",
+		"seed=1,metasplit@0.5",
 	}
 	for _, s := range specs {
 		spec, err := Parse(s)
@@ -96,6 +97,8 @@ func TestParseErrors(t *testing.T) {
 		"degrade=fabric:0.5", // missing @TIME
 		"bboutage@",
 		"check=-1",
+		"metasplit@",      // missing time
+		"metasplit@1+0.5", // migration has no window
 	}
 	for _, s := range bad {
 		if _, err := Parse(s); err == nil {
@@ -129,6 +132,7 @@ func TestFaultStringCanonical(t *testing.T) {
 		"bboutage@3+1":           {Kind: KindBBOutage, At: 3, Dur: 1},
 		"metacrash=1@2":          {Kind: KindMetaCrash, Index: 1, At: 2},
 		"metacrash=0@1.5+0.5":    {Kind: KindMetaCrash, Index: 0, At: 1.5, Dur: 0.5},
+		"metasplit@0.5":          {Kind: KindMetaSplit, At: 0.5},
 	}
 	for want, f := range cases {
 		if got := f.String(); got != want {

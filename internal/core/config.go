@@ -141,6 +141,20 @@ type Config struct {
 	// for benchmark percentiles (costs memory; off for figure runs).
 	MetaRecordLatencies bool
 
+	// MetaFollowerReads lets metadata Stat/Lookup be served by a follower
+	// holding a time-bounded lease from its shard leader, load-balancing
+	// hot stat storms across the replica set. Reads are never staler than
+	// the lease on the virtual clock; leases are revoked on leader crash
+	// and frozen during a split arc's transfer window. Off (the default)
+	// keeps every read on the leader — the byte-identical baseline.
+	// Requires MetaShards > 0.
+	MetaFollowerReads bool
+
+	// MetaLeaseTime is the follower-read lease duration in virtual
+	// seconds (the staleness bound); zero uses the metaplane default.
+	// Requires MetaFollowerReads.
+	MetaLeaseTime float64
+
 	// StripeAllLockEff is the extent-lock efficiency of the shared flush
 	// file under the conventional stripe-all layout (adaptive flush writes
 	// stripe-aligned disjoint ranges and pays no lock penalty).
@@ -244,6 +258,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MetaShards and CentralMetadata are mutually exclusive")
 	case c.MetaShards == 0 && c.MetaReplicas > 1:
 		return fmt.Errorf("core: MetaReplicas requires MetaShards > 0")
+	case c.MetaShards == 0 && c.MetaFollowerReads:
+		return fmt.Errorf("core: MetaFollowerReads requires MetaShards > 0")
+	case c.MetaLeaseTime < 0:
+		return fmt.Errorf("core: MetaLeaseTime must be non-negative, got %v", c.MetaLeaseTime)
+	case c.MetaLeaseTime > 0 && !c.MetaFollowerReads:
+		return fmt.Errorf("core: MetaLeaseTime requires MetaFollowerReads")
 	}
 	switch {
 	case c.DedupBlockBytes < 0:

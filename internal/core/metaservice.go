@@ -165,6 +165,28 @@ func (sys *System) MetaCrashLeader(shard int) (replica int, ok bool) {
 	return replica, ok
 }
 
+// MetaSplit starts an online metadata shard split (chaos `metasplit` and
+// the -meta-split schedule): a new shard is minted and the hash-circle
+// arcs the post-split ring assigns to it migrate as charged batches —
+// real flows in the allocator — while the plane keeps serving. Returns
+// the new shard id. ok is false when no plane is configured or another
+// split is still migrating.
+func (sys *System) MetaSplit() (shard int, ok bool) {
+	if sys.plane == nil {
+		return -1, false
+	}
+	shard, err := sys.plane.StartSplit(sys.W.E)
+	if err != nil {
+		return -1, false
+	}
+	sys.explain = append(sys.explain, fmt.Sprintf(
+		"metasplit: online split started into new shard %d", shard))
+	if sys.InvariantCheck != nil {
+		sys.InvariantCheck("metasplit")
+	}
+	return shard, true
+}
+
 // MetaRecover restarts a crashed metadata replica and catches it up from
 // the current leader (WAL suffix or snapshot install).
 func (sys *System) MetaRecover(shard, replica int) bool {

@@ -122,6 +122,77 @@ func TestPlaneModeDeleteAndRewrite(t *testing.T) {
 	}
 }
 
+// TestPlaneModeFollowerReadsAndOnlineSplit runs the write → close → read
+// path with leased follower reads on and splits a shard online between the
+// writes and the reads: bytes must round-trip exactly through the moved
+// arcs, the ledger and lease invariants must hold, and the surfaced
+// counters must show both the migration and the follower-served reads.
+func TestPlaneModeFollowerReadsAndOnlineSplit(t *testing.T) {
+	w, sys := testEnv(t, func(tc *topology.Config, cc *Config) {
+		cc.MetaShards = 2
+		cc.MetaReplicas = 3
+		cc.MetaFollowerReads = true
+		// One partition bucket per segment, so the records spread over the
+		// hash circle and the split genuinely moves some of them.
+		cc.MetaRangeSize = 1 * mib
+	})
+	payload := bytes.Repeat([]byte("q"), int(1*mib))
+	split := -1
+	runApp(t, w, sys, 2, 1, func(c *Client) {
+		f, err := c.Open("f", WriteOnly)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		base := int64(c.Rank().Rank()) * 4 * mib
+		for i := int64(0); i < 4; i++ {
+			if err := f.WriteAt(base+i*mib, 1*mib, payload); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+		f.Close()
+		c.Rank().Barrier()
+		if c.Rank().Rank() == 0 {
+			var ok bool
+			split, ok = sys.MetaSplit()
+			if !ok {
+				t.Errorf("MetaSplit refused with a healthy plane")
+			}
+		}
+		rf, err := c.Open("f", ReadOnly)
+		if err != nil {
+			t.Errorf("open read: %v", err)
+			return
+		}
+		other := int64(1-c.Rank().Rank()) * 4 * mib
+		for i := int64(0); i < 4; i++ {
+			data, err := rf.ReadAt(other+i*mib, 1*mib)
+			if err != nil {
+				t.Errorf("read %d: %v", i, err)
+			} else if !bytes.Equal(data, payload) {
+				t.Errorf("read %d: wrong bytes through the mid-split plane", i)
+			}
+		}
+		rf.Close()
+	})
+	if split != 2 {
+		t.Errorf("MetaSplit minted shard %d, want 2", split)
+	}
+	if v := sys.CheckInvariants(); len(v) != 0 {
+		t.Errorf("invariant violations after online split: %v", v)
+	}
+	st := sys.Plane().Stats()
+	if st.Shards != 3 {
+		t.Errorf("plane has %d shards after the split, want 3", st.Shards)
+	}
+	if st.Splits != 1 || st.SplitRecords == 0 || st.SplitBytes == 0 {
+		t.Errorf("split migrated nothing: %+v", st)
+	}
+	if st.FollowerReads == 0 || st.LeaseGrants == 0 {
+		t.Errorf("no leased follower read served: %+v", st)
+	}
+}
+
 // TestLegacyModeMetaOpDetail: with the plane off, the same counters track
 // the single logical ring, indexed by metadata server.
 func TestLegacyModeMetaOpDetail(t *testing.T) {
@@ -154,7 +225,10 @@ func TestConfigMetaValidation(t *testing.T) {
 		func(c *Config) { c.MetaShards = -1 },
 		func(c *Config) { c.MetaReplicas = -1 },
 		func(c *Config) { c.MetaShards = 2; c.CentralMetadata = true },
-		func(c *Config) { c.MetaReplicas = 3 }, // replicas without shards
+		func(c *Config) { c.MetaReplicas = 3 },     // replicas without shards
+		func(c *Config) { c.MetaFollowerReads = true }, // follower reads without shards
+		func(c *Config) { c.MetaShards = 2; c.MetaLeaseTime = -1 },
+		func(c *Config) { c.MetaShards = 2; c.MetaLeaseTime = 0.01 }, // lease without follower reads
 	}
 	for i, mutate := range bad {
 		cc := DefaultConfig()
@@ -166,6 +240,8 @@ func TestConfigMetaValidation(t *testing.T) {
 	ok := DefaultConfig()
 	ok.MetaShards = 4
 	ok.MetaReplicas = 3
+	ok.MetaFollowerReads = true
+	ok.MetaLeaseTime = 0.02
 	if err := ok.Validate(); err != nil {
 		t.Errorf("valid plane config rejected: %v", err)
 	}

@@ -241,6 +241,8 @@ func NewSystem(w *mpi.World, cfg Config) (*System, error) {
 			SnapshotEvery:   cfg.MetaSnapshotEvery,
 			Seed:            424242,
 			RecordLatencies: cfg.MetaRecordLatencies,
+			FollowerReads:   cfg.MetaFollowerReads,
+			LeaseTime:       cfg.MetaLeaseTime,
 			Costs: metaplane.Costs{
 				NetLatency: w.Cluster.Cfg.NetLatency,
 				ShmLatency: cfg.ShmLatency,
@@ -252,12 +254,38 @@ func NewSystem(w *mpi.World, cfg Config) (*System, error) {
 			return nil, err
 		}
 		sys.plane = pl
+		// Split-migration batches ship as real flows over the source and
+		// target NICs and the fabric, competing with application traffic in
+		// the max-min allocator — migration is charged work, not an
+		// administrative sweep.
+		pl.Mover = func(p *sim.Proc, from, to int, bytes int64) {
+			path := w.Cluster.NetPath(from, to)
+			if path == nil {
+				p.Sleep(cfg.ShmLatency)
+				return
+			}
+			p.Sleep(w.Cluster.Cfg.NetLatency)
+			p.Transfer(float64(bytes), path...)
+		}
+		pl.SplitDone = func(shard int) {
+			sys.explain = append(sys.explain, fmt.Sprintf(
+				"metasplit: shard %d migration complete; ring now %d shards",
+				shard, pl.Shards()))
+			if sys.InvariantCheck != nil {
+				sys.InvariantCheck("metasplitdone")
+			}
+		}
 		if w.Trace.Enabled() {
 			pl.Sampler = w.Trace.MetaSample
+			pl.LeaseSampler = w.Trace.LeaseSample
 		}
 		sys.explain = append(sys.explain, fmt.Sprintf(
 			"metadata plane: %d shards × %d replicas across %d nodes",
 			cfg.MetaShards, replicas, nNodes))
+		if cfg.MetaFollowerReads {
+			sys.explain = append(sys.explain,
+				"metadata plane: leased follower reads enabled")
+		}
 	}
 	for n := 0; n < nNodes; n++ {
 		sys.nodeMeta = append(sys.nodeMeta, kvstore.NewStore(int64(7000+n)))

@@ -28,6 +28,12 @@ type replica struct {
 	opsFree sim.Time
 
 	crashed bool
+
+	// Read lease (FollowerReads): the replica may serve reads while the
+	// lease epoch matches the group's and the expiry has not passed on the
+	// virtual clock. leaseEpoch is -1 until the first grant.
+	leaseEpoch  int64
+	leaseExpiry sim.Time
 }
 
 // applyTo replays log entries (applied, upTo] into the store.
@@ -72,6 +78,14 @@ type group struct {
 	ops       int64
 	appended  int64
 	snapshots int64
+
+	// Lease fencing: a lease is valid only while its epoch matches. The
+	// epoch bumps on every revocation — leader crash, or an arc transfer
+	// window opening on this group. frozen > 0 suspends new grants (reads
+	// forward to the leader) for the window's duration.
+	epoch  int64
+	frozen int
+	rr     uint64 // round-robin cursor for leased replica selection
 }
 
 // alive returns the indexes of non-crashed replicas, ascending.

@@ -94,6 +94,16 @@ func (r *HashRing) AddShard(id int) {
 	})
 }
 
+// Clone returns an independent deep copy of the ring.
+func (r *HashRing) Clone() *HashRing {
+	c := &HashRing{vnodes: r.vnodes, shards: make(map[int]bool, len(r.shards))}
+	for id := range r.shards {
+		c.shards[id] = true
+	}
+	c.points = append([]ringPoint(nil), r.points...)
+	return c
+}
+
 // RemoveShard removes a shard's virtual nodes. Removing an absent shard is
 // a no-op.
 func (r *HashRing) RemoveShard(id int) {

@@ -1,0 +1,128 @@
+package metaplane
+
+// Leased follower reads. With Config.FollowerReads, Stat/Lookup round-
+// robin across a shard's alive replicas instead of serializing on the
+// leader. A follower may serve only while it holds a time-bounded lease
+// from its leader: the lease pins the group epoch and expires LeaseTime
+// after the grant on the virtual clock, so a read is never staler than
+// LeaseTime. Leases are revoked — by bumping the group epoch — when the
+// leader crashes and whenever a split arc's transfer window opens on the
+// group; during such a window (frozen) no new lease is granted and reads
+// forward to the leader.
+import "univistor/internal/sim"
+
+// LeaseSampler observes the cumulative lease/split counters after every
+// follower read and migration batch — the tracer's lease counter track
+// attaches here.
+type LeaseSampler func(t sim.Time, grants, followerReads, forwardedReads, splitRecords int64)
+
+func (pl *Plane) sampleLease(t sim.Time) {
+	if pl.LeaseSampler == nil {
+		return
+	}
+	pl.LeaseSampler(t, pl.leaseGrants, pl.followerReads, pl.forwardedReads, pl.splitRecords)
+}
+
+// revokeLeases invalidates every outstanding lease on g by bumping the
+// group epoch.
+func (pl *Plane) revokeLeases(g *group) {
+	for i, r := range g.replicas {
+		if i != g.leader && r.leaseEpoch == g.epoch {
+			pl.leaseRevocations++
+		}
+	}
+	g.epoch++
+}
+
+// freezeLeases opens a no-lease window on g (a split arc's transfer
+// window): outstanding leases are revoked and new grants are refused until
+// the matching unfreeze.
+func (pl *Plane) freezeLeases(g *group) {
+	g.frozen++
+	pl.revokeLeases(g)
+}
+
+func (pl *Plane) unfreezeLeases(g *group) {
+	g.frozen--
+}
+
+// chargeReadAny books one read round trip — on the leader (the default),
+// or, with FollowerReads, on an alive replica chosen round-robin, renewing
+// its lease from the leader when needed — and returns the duration plus
+// the replica whose store reflects the served state. It does not sleep:
+// the caller captures the value at the routing instant, then sleeps.
+func (pl *Plane) chargeReadAny(p *sim.Proc, fromNode int, g *group) (sim.Time, *replica) {
+	if !pl.cfg.FollowerReads || len(g.replicas) < 2 {
+		return pl.chargeRead(p, fromNode, g), g.lead()
+	}
+	alive := g.alive()
+	r := g.replicas[alive[int(g.rr%uint64(len(alive)))]]
+	g.rr++
+	if r.idx == g.leader {
+		return pl.chargeRead(p, fromNode, g), g.lead()
+	}
+	if g.frozen > 0 {
+		// An arc transfer window is open: leases are revoked, ownership is
+		// in flight — forward to the leader.
+		pl.forwardedReads++
+		pl.sampleLease(p.Now())
+		return pl.chargeRead(p, fromNode, g), g.lead()
+	}
+	return pl.chargeFollowerRead(p, fromNode, g, r)
+}
+
+// chargeFollowerRead serves one read on follower f under its lease,
+// renewing first — one follower→leader round trip, serialized on the
+// leader's queue — when the lease would be invalid at service time.
+func (pl *Plane) chargeFollowerRead(p *sim.Proc, fromNode int, g *group, f *replica) (sim.Time, *replica) {
+	c := pl.cfg.Costs
+	leaseT := pl.cfg.LeaseTime
+	if leaseT <= 0 {
+		leaseT = DefaultLeaseTime
+	}
+	t0 := p.Now()
+	lat := c.NetLatency
+	if f.node == fromNode {
+		lat = c.ShmLatency
+	}
+	start := t0 + sim.Time(lat)
+	if f.opsFree > start {
+		start = f.opsFree
+	}
+	if f.leaseEpoch != g.epoch || f.leaseExpiry < start {
+		// Renew. The grant lands at start + 2·hop + OpTime > start, so the
+		// renewed lease is always valid at the (pushed-back) service time.
+		ld := g.lead()
+		hop := c.NetLatency
+		if ld.node == f.node {
+			hop = c.ShmLatency
+		}
+		arr := start + sim.Time(hop)
+		ls := arr
+		if ld.opsFree > ls {
+			ls = ld.opsFree
+		}
+		ld.opsFree = ls + sim.Time(c.OpTime)
+		granted := ld.opsFree + sim.Time(hop)
+		f.leaseEpoch = g.epoch
+		f.leaseExpiry = granted + sim.Time(leaseT)
+		pl.leaseGrants++
+		if granted > start {
+			start = granted
+		}
+	}
+	if f.leaseEpoch != g.epoch || f.leaseExpiry < start {
+		// Must be unreachable; counted (never silently served) and flagged
+		// by CheckInvariants.
+		pl.staleServes++
+	}
+	// The lease holder serves its log's state: catch the lazy applier up.
+	f.applyTo(f.log.lastIndex())
+	f.opsFree = start + sim.Time(c.OpTime)
+	respond := f.opsFree + sim.Time(lat)
+	g.ops++
+	pl.followerReads++
+	pl.sample(respond)
+	pl.sampleLease(respond)
+	return respond - t0, f
+}

@@ -13,6 +13,18 @@ import (
 // replica compacts its log into a snapshot.
 const DefaultSnapshotEvery = 256
 
+// DefaultRecordBytes is the modeled wire size of one metadata record in a
+// split-migration batch.
+const DefaultRecordBytes = 256
+
+// DefaultSplitBatchRecords is the number of records one split-migration
+// batch carries.
+const DefaultSplitBatchRecords = 512
+
+// DefaultLeaseTime is the follower read lease duration (and therefore the
+// staleness bound) on the virtual clock, in seconds.
+const DefaultLeaseTime = 0.01
+
 // Costs are the analytic service parameters of one metadata operation,
 // mirroring the core servers' M/D/1-style model.
 type Costs struct {
@@ -50,6 +62,24 @@ type Config struct {
 	// benchmark percentiles (off for figure runs to keep memory flat).
 	RecordLatencies bool
 
+	// FollowerReads lets Stat/Lookup be served by a follower holding a
+	// time-bounded lease from its leader (bounded staleness of LeaseTime on
+	// the virtual clock). Off (the default) keeps every read on the leader —
+	// byte-identical to the pre-lease plane.
+	FollowerReads bool
+
+	// LeaseTime is the follower lease duration in virtual seconds — the
+	// staleness bound of a leased read (DefaultLeaseTime if 0).
+	LeaseTime float64
+
+	// RecordBytes is the modeled wire size of one record in a split
+	// migration batch (DefaultRecordBytes if 0).
+	RecordBytes int64
+
+	// SplitBatchRecords is the record count per split-migration batch
+	// (DefaultSplitBatchRecords if 0).
+	SplitBatchRecords int
+
 	Costs Costs
 }
 
@@ -66,6 +96,12 @@ func (c Config) validate() error {
 	case c.Costs.NetLatency < 0 || c.Costs.ShmLatency < 0 ||
 		c.Costs.OpTime < 0 || c.Costs.ApplyTime < 0:
 		return fmt.Errorf("metaplane: costs must be non-negative")
+	case c.LeaseTime < 0:
+		return fmt.Errorf("metaplane: LeaseTime must be non-negative, got %g", c.LeaseTime)
+	case c.RecordBytes < 0:
+		return fmt.Errorf("metaplane: RecordBytes must be non-negative, got %d", c.RecordBytes)
+	case c.SplitBatchRecords < 0:
+		return fmt.Errorf("metaplane: SplitBatchRecords must be non-negative, got %d", c.SplitBatchRecords)
 	}
 	return nil
 }
@@ -87,17 +123,43 @@ type Plane struct {
 	nextShard int   // next shard id to mint (monotonic across membership)
 	seedCtr   int64 // deterministic store-seed counter (snapshot installs)
 
+	split *splitRun // active online split, nil otherwise
+
 	// Sampler, when set, is called after every charged op.
 	Sampler Sampler
+
+	// Mover, when set, charges a split-migration batch as a real transfer
+	// in the caller's flow allocator (source leader node → target leader
+	// node). nil falls back to a latency-only hop.
+	Mover Mover
+
+	// SplitDone, when set, is called (at the migrator's current virtual
+	// instant) after an online split finishes installing its ring.
+	SplitDone func(newShard int)
+
+	// LeaseSampler, when set, observes the cumulative lease/split counters
+	// after every follower read and migration batch — the tracer's lease
+	// counter track attaches here.
+	LeaseSampler LeaseSampler
 
 	puts, deletes, lookups      int64
 	failovers, recoveries       int64
 	snapshotInstalls, handoffs  int64
 	retiredOps, retiredAppended int64
 	retiredSnapshots            int64
-	latPut, latStat             []float64
-	sampleShards                []int
-	sampleOps                   []int64
+
+	splits, splitRecords  int64
+	splitBytes            int64
+	doubleApplies         int64
+	leaseGrants           int64
+	leaseRevocations      int64
+	followerReads         int64
+	forwardedReads        int64
+	staleServes           int64 // must stay 0: serves on an expired/revoked lease
+
+	latPut, latDelete, latStat []float64
+	sampleShards               []int
+	sampleOps                  []int64
 }
 
 // New builds a plane of cfg.Shards replication groups, each with
@@ -123,22 +185,31 @@ func New(cfg Config) (*Plane, error) {
 // addGroup mints the next shard id, builds its replication group, and adds
 // it to the hash ring. Replica k of shard s lives on node (s*R+k) mod N.
 func (pl *Plane) addGroup() *group {
+	g := pl.newGroup()
+	pl.ring.AddShard(g.id)
+	return g
+}
+
+// newGroup mints the next shard id and builds its replication group
+// without touching the hash ring — an online split keeps the new shard
+// off the ring until its arcs finish migrating.
+func (pl *Plane) newGroup() *group {
 	id := pl.nextShard
 	pl.nextShard++
 	g := &group{id: id, ledger: map[meta.Key]bool{}}
 	for k := 0; k < pl.cfg.Replicas; k++ {
 		pl.seedCtr++
 		g.replicas = append(g.replicas, &replica{
-			shard: id,
-			idx:   k,
-			node:  (id*pl.cfg.Replicas + k) % pl.cfg.Nodes,
-			store: kvstore.NewStore(pl.cfg.Seed + 9000 + pl.seedCtr),
+			shard:      id,
+			idx:        k,
+			node:       (id*pl.cfg.Replicas + k) % pl.cfg.Nodes,
+			store:      kvstore.NewStore(pl.cfg.Seed + 9000 + pl.seedCtr),
+			leaseEpoch: -1,
 		})
 	}
 	pl.groups[id] = g
 	pl.order = append(pl.order, id)
 	sort.Ints(pl.order)
-	pl.ring.AddShard(id)
 	return g
 }
 
@@ -152,9 +223,26 @@ func (pl *Plane) ShardIDs() []int { return append([]int(nil), pl.order...) }
 func (pl *Plane) Replicas() int { return pl.cfg.Replicas }
 
 // ShardFor returns the shard owning the record range containing (fid,
-// offset).
+// offset), split-aware: mid-split, arcs route to their current owner.
 func (pl *Plane) ShardFor(fid meta.FileID, offset int64) int {
-	return pl.ring.Owner(KeyHash(fid, offset/pl.cfg.RangeSize))
+	return pl.owner(KeyHash(fid, offset/pl.cfg.RangeSize))
+}
+
+// owner resolves a key hash to its current owning shard. With no split
+// active this is the ring owner. Mid-split, a hash in a moving arc stays
+// with its source until the arc's transfer completes, then follows the
+// post-split ring — so routing flips per arc, atomically on the virtual
+// clock, never mid-transfer.
+func (pl *Plane) owner(h uint64) int {
+	if s := pl.split; s != nil {
+		if a := s.arcFor(h); a != nil {
+			if a.phase == arcDone {
+				return s.target
+			}
+			return a.from
+		}
+	}
+	return pl.ring.Owner(h)
 }
 
 // LeaderOf reports shard's current leader replica index and its node.
@@ -172,7 +260,11 @@ func (pl *Plane) LeaderOf(shard int) (replicaIdx, node int, ok bool) {
 // Put replicates a record insert through its shard's group and returns the
 // shard id. The caller sleeps until the op commits.
 func (pl *Plane) Put(p *sim.Proc, fromNode int, rec meta.Record) int {
-	shard := pl.ShardFor(rec.FID, rec.Offset)
+	h := KeyHash(rec.FID, rec.Offset/pl.cfg.RangeSize)
+	shard := pl.owner(h)
+	// Mirror before propose sleeps: the mutation's state lands at the call
+	// instant, and the arc may hand over while the reply is in flight.
+	pl.mirror(h, OpPut, rec)
 	d := pl.propose(p, fromNode, pl.groups[shard], OpPut, rec)
 	pl.puts++
 	if pl.cfg.RecordLatencies {
@@ -184,42 +276,72 @@ func (pl *Plane) Put(p *sim.Proc, fromNode int, rec meta.Record) int {
 // Delete replicates removal of the record keyed exactly by (fid, offset),
 // reporting whether it existed, and returns the shard id.
 func (pl *Plane) Delete(p *sim.Proc, fromNode int, fid meta.FileID, offset int64) (existed bool, shard int) {
-	shard = pl.ShardFor(fid, offset)
+	h := KeyHash(fid, offset/pl.cfg.RangeSize)
+	shard = pl.owner(h)
 	g := pl.groups[shard]
 	_, existed = g.lead().store.Get(meta.Key{FID: fid, Offset: offset})
+	pl.mirror(h, OpDelete, meta.Record{FID: fid, Offset: offset})
 	d := pl.propose(p, fromNode, g, OpDelete,
 		meta.Record{FID: fid, Offset: offset})
 	pl.deletes++
 	if pl.cfg.RecordLatencies {
-		pl.latPut = append(pl.latPut, float64(d))
+		pl.latDelete = append(pl.latDelete, float64(d))
 	}
 	return existed, shard
 }
 
-// Stat is a charged exact-key lookup at the owning shard's leader.
+// mirror double-applies a mutation onto the split target when its key sits
+// in an arc that is mid-copy: the committed write already landed on the
+// arc's source (the current owner), and the copy replays it on the target
+// so the handover loses nothing. The key is marked dirty so an in-flight
+// migration batch never clobbers this newer value (or resurrects a
+// delete). Costs nothing extra on the client's clock — the propose charged
+// the round trip and log shipping; the mirror rides the migration stream.
+func (pl *Plane) mirror(h uint64, kind OpKind, rec meta.Record) {
+	s := pl.split
+	if s == nil {
+		return
+	}
+	a := s.arcFor(h)
+	if a == nil || a.phase != arcCopying {
+		return
+	}
+	pl.adminApply(pl.groups[s.target], kind, rec)
+	a.dirty[meta.Key{FID: rec.FID, Offset: rec.Offset}] = true
+	pl.doubleApplies++
+}
+
+// Stat is a charged exact-key lookup at the owning shard: on the leader,
+// or — with Config.FollowerReads — on any replica holding a read lease.
+// The value is captured at the routing instant (the read's linearization
+// point) before the round trip is slept out — mid-split, the source may
+// purge a handed-over arc while the reply is in flight.
 func (pl *Plane) Stat(p *sim.Proc, fromNode int, fid meta.FileID, offset int64) (meta.Record, bool) {
 	shard := pl.ShardFor(fid, offset)
 	g := pl.groups[shard]
-	d := pl.chargeRead(p, fromNode, g)
+	d, r := pl.chargeReadAny(p, fromNode, g)
+	rec, ok := r.store.Get(meta.Key{FID: fid, Offset: offset})
 	pl.lookups++
 	if pl.cfg.RecordLatencies {
 		pl.latStat = append(pl.latStat, float64(d))
 	}
-	return g.lead().store.Get(meta.Key{FID: fid, Offset: offset})
+	p.Sleep(float64(d))
+	return rec, ok
 }
 
-// Lookup charges one read-side round trip against a shard's leader — the
-// read path's per-contacted-shard cost after a cost-free CoveringLocal.
+// Lookup charges one read-side round trip against a shard — the read
+// path's per-contacted-shard cost after a cost-free CoveringLocal.
 func (pl *Plane) Lookup(p *sim.Proc, fromNode, shard int) {
 	g, ok := pl.groups[shard]
 	if !ok {
 		panic(fmt.Sprintf("metaplane: Lookup on unknown shard %d", shard))
 	}
-	d := pl.chargeRead(p, fromNode, g)
+	d, _ := pl.chargeReadAny(p, fromNode, g)
 	pl.lookups++
 	if pl.cfg.RecordLatencies {
 		pl.latStat = append(pl.latStat, float64(d))
 	}
+	p.Sleep(float64(d))
 }
 
 // propose runs the replicated-commit protocol for one mutation: transport
@@ -269,7 +391,9 @@ func (pl *Plane) propose(p *sim.Proc, fromNode int, g *group, kind OpKind, rec m
 	return respond - t0
 }
 
-// chargeRead serializes one read round trip on the shard leader.
+// chargeRead books one read round trip on the shard leader's queue and
+// returns its duration. The caller sleeps it out after capturing the
+// served value at the routing instant.
 func (pl *Plane) chargeRead(p *sim.Proc, fromNode int, g *group) sim.Time {
 	t0 := p.Now()
 	ld := g.lead()
@@ -287,7 +411,6 @@ func (pl *Plane) chargeRead(p *sim.Proc, fromNode int, g *group) sim.Time {
 	respond := ld.opsFree + sim.Time(lat)
 	g.ops++
 	pl.sample(respond)
-	p.Sleep(float64(respond - t0))
 	return respond - t0
 }
 
@@ -376,11 +499,22 @@ func (pl *Plane) CoveringLocal(fid meta.FileID, offset, size int64) ([]meta.Reco
 	return recs, shards
 }
 
-// Total returns the committed record count across all shards.
+// Total returns the committed record count across all shards. Mid-split
+// the target already holds copies of records whose arcs are still owned by
+// their source, so only records the target actually owns count.
 func (pl *Plane) Total() int {
 	n := 0
 	for _, id := range pl.order {
-		n += pl.groups[id].lead().store.Len()
+		st := pl.groups[id].lead().store
+		if s := pl.split; s != nil && id == s.target {
+			for _, rec := range st.All() {
+				if pl.owner(KeyHash(rec.FID, rec.Offset/pl.cfg.RangeSize)) == id {
+					n++
+				}
+			}
+			continue
+		}
+		n += st.Len()
 	}
 	return n
 }
@@ -399,6 +533,9 @@ func (pl *Plane) CrashLeader(shard int) (crashedReplica int, ok bool) {
 	}
 	old := g.leader
 	g.replicas[old].crashed = true
+	// A dead leader can no longer fence its lessees: every outstanding
+	// lease is revoked before the new leader serves.
+	pl.revokeLeases(g)
 	g.electLeader()
 	pl.failovers++
 	return old, true
@@ -446,9 +583,14 @@ func (pl *Plane) Recover(shard, replicaIdx int) bool {
 // Membership change.
 
 // AddShard mints a new shard, adds it to the hash ring, and hands off the
-// record ranges the consistent hash now assigns to it. Returns the new
-// shard id.
+// record ranges the consistent hash now assigns to it — instantaneously,
+// as an administrative sweep (StartSplit is the online, charged variant).
+// Returns the new shard id; panics while a split is migrating (membership
+// must quiesce around a split).
 func (pl *Plane) AddShard() int {
+	if pl.split != nil {
+		panic(fmt.Sprintf("metaplane: AddShard during active split (target shard %d)", pl.split.target))
+	}
 	g := pl.addGroup()
 	pl.rebalance()
 	return g.id
@@ -456,7 +598,7 @@ func (pl *Plane) AddShard() int {
 
 // RemoveShard retires a shard: its virtual nodes leave the hash ring and
 // every record it held is handed off to the new owners. The last shard
-// cannot be removed.
+// cannot be removed, and membership is frozen while a split is migrating.
 func (pl *Plane) RemoveShard(id int) error {
 	g, found := pl.groups[id]
 	if !found {
@@ -464,6 +606,10 @@ func (pl *Plane) RemoveShard(id int) error {
 	}
 	if len(pl.order) == 1 {
 		return fmt.Errorf("metaplane: cannot remove the last shard")
+	}
+	if pl.split != nil {
+		return fmt.Errorf("metaplane: cannot remove shard %d during active split (target shard %d)",
+			id, pl.split.target)
 	}
 	pl.ring.RemoveShard(id)
 	for _, rec := range g.lead().store.All() {
@@ -530,21 +676,40 @@ func (pl *Plane) adminApply(g *group, kind OpKind, rec meta.Record) {
 //   - every group's leader is alive, fully applied, and at the commit index
 //   - every alive replica's WAL reaches the commit index
 //   - replica apply/snapshot indexes are ordered (snap ≤ applied ≤ last)
-//   - no committed record is lost: the leader store matches the commit-time
-//     ledger exactly
-//   - placement: every stored record hashes to the shard holding it
+//   - no committed record is lost: the audit replica's effective state
+//     (store plus unapplied WAL suffix) matches the commit-time ledger
+//   - placement: every stored record hashes to a shard entitled to hold it
+//     (its owner, or the split target while the record's arc is mid-copy)
+//   - no follower read was ever served on an expired or revoked lease
+//
+// A crashed, un-failed-over leader is itself a violation, but it does not
+// shield the shard: the surviving invariants are checked against the
+// replica an election would pick — the alive replica with the longest log —
+// so a lost committed record is reported even while the leader is down.
 func (pl *Plane) CheckInvariants() []string {
 	var v []string
 	for _, id := range pl.order {
 		g := pl.groups[id]
-		ld := g.lead()
-		if ld.crashed {
+		audit := g.lead()
+		if audit.crashed {
 			v = append(v, fmt.Sprintf("shard %d: leader replica %d is crashed", id, g.leader))
-			continue
-		}
-		if ld.log.lastIndex() != g.commit || ld.applied != g.commit {
+			best := -1
+			for _, i := range g.alive() {
+				if best < 0 || g.replicas[i].log.lastIndex() > g.replicas[best].log.lastIndex() {
+					best = i
+				}
+			}
+			if best < 0 {
+				continue // every replica is down; nothing left to audit
+			}
+			audit = g.replicas[best]
+			if audit.log.lastIndex() < g.commit {
+				v = append(v, fmt.Sprintf("shard %d: longest surviving log %d behind commit %d — committed suffix lost",
+					id, audit.log.lastIndex(), g.commit))
+			}
+		} else if audit.log.lastIndex() != g.commit || audit.applied != g.commit {
 			v = append(v, fmt.Sprintf("shard %d: leader log=%d applied=%d commit=%d",
-				id, ld.log.lastIndex(), ld.applied, g.commit))
+				id, audit.log.lastIndex(), audit.applied, g.commit))
 		}
 		for _, i := range g.alive() {
 			r := g.replicas[i]
@@ -559,9 +724,10 @@ func (pl *Plane) CheckInvariants() []string {
 					id, i, r.applied, r.log.snapIndex, r.log.lastIndex()))
 			}
 		}
-		if ld.store.Len() != len(g.ledger) {
-			v = append(v, fmt.Sprintf("shard %d: leader store holds %d records, committed ledger %d",
-				id, ld.store.Len(), len(g.ledger)))
+		eff := effectiveRecords(audit)
+		if len(eff) != len(g.ledger) {
+			v = append(v, fmt.Sprintf("shard %d: replica %d holds %d records, committed ledger %d",
+				id, audit.idx, len(eff), len(g.ledger)))
 		}
 		keys := make([]meta.Key, 0, len(g.ledger))
 		for k := range g.ledger {
@@ -569,19 +735,67 @@ func (pl *Plane) CheckInvariants() []string {
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 		for _, k := range keys {
-			if _, ok := ld.store.Get(k); !ok {
+			if _, ok := eff[k]; !ok {
 				v = append(v, fmt.Sprintf("shard %d: committed record fid=%d off=%d lost",
 					id, k.FID, k.Offset))
 			}
 		}
-		for _, rec := range ld.store.All() {
-			if home := pl.ShardFor(rec.FID, rec.Offset); home != id {
+		held := make([]meta.Key, 0, len(eff))
+		for k := range eff {
+			held = append(held, k)
+		}
+		sort.Slice(held, func(i, j int) bool { return held[i].Less(held[j]) })
+		for _, k := range held {
+			rec := eff[k]
+			if !pl.placementOK(id, rec) {
 				v = append(v, fmt.Sprintf("shard %d: record fid=%d off=%d belongs to shard %d",
-					id, rec.FID, rec.Offset, home))
+					id, rec.FID, rec.Offset, pl.ShardFor(rec.FID, rec.Offset)))
 			}
 		}
 	}
+	if pl.staleServes > 0 {
+		v = append(v, fmt.Sprintf("metaplane: %d follower reads served on an expired or revoked lease",
+			pl.staleServes))
+	}
 	return v
+}
+
+// effectiveRecords is the record set replica r would expose after applying
+// its full log: the store contents overlaid with the unapplied suffix.
+// Followers apply lazily, so auditing a follower must replay its tail.
+func effectiveRecords(r *replica) map[meta.Key]meta.Record {
+	out := make(map[meta.Key]meta.Record, r.store.Len())
+	for _, rec := range r.store.All() {
+		out[rec.Key()] = rec
+	}
+	if entries, ok := r.log.entriesFrom(r.applied + 1); ok {
+		for _, e := range entries {
+			k := meta.Key{FID: e.Rec.FID, Offset: e.Rec.Offset}
+			switch e.Kind {
+			case OpPut:
+				out[k] = e.Rec
+			case OpDelete:
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// placementOK reports whether shard id may legitimately hold a record: it
+// is the key's current owner, or it is the split target holding an
+// already-copied (or mirrored) record of an arc still mid-transfer.
+func (pl *Plane) placementOK(id int, rec meta.Record) bool {
+	h := KeyHash(rec.FID, rec.Offset/pl.cfg.RangeSize)
+	if pl.owner(h) == id {
+		return true
+	}
+	s := pl.split
+	if s == nil || id != s.target {
+		return false
+	}
+	a := s.arcFor(h)
+	return a != nil && a.phase == arcCopying
 }
 
 // ShardStat is one shard's telemetry snapshot.
@@ -597,18 +811,35 @@ type ShardStat struct {
 	Records       int   `json:"records"`
 }
 
-// Stats is the plane-wide telemetry snapshot.
+// Stats is the plane-wide telemetry snapshot. Retired* carry the
+// cumulative counters of removed shards, so TotalOps (live per-shard ops +
+// retired ops) is monotone across membership changes instead of silently
+// dropping when a shard leaves.
 type Stats struct {
-	Shards           int         `json:"shards"`
-	Replicas         int         `json:"replicas"`
-	Puts             int64       `json:"puts"`
-	Deletes          int64       `json:"deletes"`
-	Lookups          int64       `json:"lookups"`
-	Failovers        int64       `json:"failovers"`
-	Recoveries       int64       `json:"recoveries"`
-	SnapshotInstalls int64       `json:"snapshot_installs"`
-	Handoffs         int64       `json:"handoffs"`
-	PerShard         []ShardStat `json:"per_shard"`
+	Shards           int   `json:"shards"`
+	Replicas         int   `json:"replicas"`
+	Puts             int64 `json:"puts"`
+	Deletes          int64 `json:"deletes"`
+	Lookups          int64 `json:"lookups"`
+	Failovers        int64 `json:"failovers"`
+	Recoveries       int64 `json:"recoveries"`
+	SnapshotInstalls int64 `json:"snapshot_installs"`
+	Handoffs         int64 `json:"handoffs"`
+	RetiredOps       int64 `json:"retired_ops"`
+	RetiredAppended  int64 `json:"retired_appended"`
+	RetiredSnapshots int64 `json:"retired_snapshots"`
+	TotalOps         int64 `json:"total_ops"`
+
+	Splits           int64 `json:"splits"`
+	SplitRecords     int64 `json:"split_records"`
+	SplitBytes       int64 `json:"split_bytes"`
+	DoubleApplies    int64 `json:"double_applies"`
+	LeaseGrants      int64 `json:"lease_grants"`
+	LeaseRevocations int64 `json:"lease_revocations"`
+	FollowerReads    int64 `json:"follower_reads"`
+	ForwardedReads   int64 `json:"forwarded_reads"`
+
+	PerShard []ShardStat `json:"per_shard"`
 }
 
 // Stats returns the current telemetry snapshot.
@@ -623,6 +854,18 @@ func (pl *Plane) Stats() Stats {
 		Recoveries:       pl.recoveries,
 		SnapshotInstalls: pl.snapshotInstalls,
 		Handoffs:         pl.handoffs,
+		RetiredOps:       pl.retiredOps,
+		RetiredAppended:  pl.retiredAppended,
+		RetiredSnapshots: pl.retiredSnapshots,
+		TotalOps:         pl.retiredOps,
+		Splits:           pl.splits,
+		SplitRecords:     pl.splitRecords,
+		SplitBytes:       pl.splitBytes,
+		DoubleApplies:    pl.doubleApplies,
+		LeaseGrants:      pl.leaseGrants,
+		LeaseRevocations: pl.leaseRevocations,
+		FollowerReads:    pl.followerReads,
+		ForwardedReads:   pl.forwardedReads,
 	}
 	for _, id := range pl.order {
 		g := pl.groups[id]
@@ -638,13 +881,19 @@ func (pl *Plane) Stats() Stats {
 			Snapshots:     g.snapshots,
 			Records:       ld.store.Len(),
 		})
+		s.TotalOps += g.ops
 	}
 	return s
 }
 
-// PutLatencies returns the recorded mutation commit latencies (only when
+// PutLatencies returns the recorded put commit latencies (only when
 // Config.RecordLatencies).
 func (pl *Plane) PutLatencies() []float64 { return pl.latPut }
+
+// DeleteLatencies returns the recorded delete commit latencies (only when
+// Config.RecordLatencies). Deletes used to be filed into the put series,
+// conflating the two tails in the figure percentiles.
+func (pl *Plane) DeleteLatencies() []float64 { return pl.latDelete }
 
 // StatLatencies returns the recorded read round-trip latencies (only when
 // Config.RecordLatencies).

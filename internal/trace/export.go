@@ -68,7 +68,7 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 	if len(r.parallelSamples) > 0 {
 		meta(pidSolver, "solver-pool")
 	}
-	if len(r.metaSamples) > 0 {
+	if len(r.metaSamples) > 0 || len(r.leaseSamples) > 0 {
 		meta(pidMetaPlane, "metaplane")
 	}
 	if len(r.casSamples) > 0 {
@@ -135,6 +135,25 @@ func (r *Recorder) chromeEvents() []chromeEvent {
 			out = append(out, chromeEvent{Name: fmt.Sprintf("meta.shard%d.ops", shard), Ph: "C",
 				Ts: usec(float64(s.t)), Pid: pidMetaPlane, Tid: 1,
 				Args: map[string]any{"cumulative": s.ops[i]}})
+		}
+	}
+	// Lease/split telemetry: cumulative grant, follower-read, and migration
+	// counters on a second metaplane thread. Absent entirely with
+	// leader-only reads and no splits, so legacy exports are unchanged.
+	for _, s := range r.leaseSamples {
+		args := []struct {
+			name string
+			v    int64
+		}{
+			{"meta.lease_grants", s.grants},
+			{"meta.follower_reads", s.follower},
+			{"meta.forwarded_reads", s.forwarded},
+			{"meta.split_records", s.splitRecords},
+		}
+		for _, a := range args {
+			out = append(out, chromeEvent{Name: a.name, Ph: "C",
+				Ts: usec(float64(s.t)), Pid: pidMetaPlane, Tid: 2,
+				Args: map[string]any{"cumulative": a.v}})
 		}
 	}
 	// Content-addressed store telemetry: cumulative logical vs physical

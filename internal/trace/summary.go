@@ -108,6 +108,14 @@ type MetaPlaneSummary struct {
 	OpsPerShard []int64 `json:"ops_per_shard"`
 	// TotalOps sums OpsPerShard.
 	TotalOps int64 `json:"total_ops"`
+	// LeaseSamples counts points on the lease/split timeline; the fields
+	// below are the final cumulative values. All zero when the run used
+	// leader-only reads and never split a shard.
+	LeaseSamples   int   `json:"lease_samples,omitempty"`
+	LeaseGrants    int64 `json:"lease_grants,omitempty"`
+	FollowerReads  int64 `json:"follower_reads,omitempty"`
+	ForwardedReads int64 `json:"forwarded_reads,omitempty"`
+	SplitRecords   int64 `json:"split_records,omitempty"`
 }
 
 // percentile returns the q-quantile (0 ≤ q ≤ 1) of sorted values by linear
@@ -257,6 +265,17 @@ func (r *Recorder) Summarize(maxResources int) *Summary {
 		}
 		s.Meta = ms
 	}
+	if n := len(r.leaseSamples); n > 0 {
+		if s.Meta == nil {
+			s.Meta = &MetaPlaneSummary{}
+		}
+		last := r.leaseSamples[n-1]
+		s.Meta.LeaseSamples = n
+		s.Meta.LeaseGrants = last.grants
+		s.Meta.FollowerReads = last.follower
+		s.Meta.ForwardedReads = last.forwarded
+		s.Meta.SplitRecords = last.splitRecords
+	}
 	return s
 }
 
@@ -294,5 +313,9 @@ func (s *Summary) Format(w io.Writer) {
 		m := s.Meta
 		fmt.Fprintf(w, "metaplane: %d charged ops across %d shards, ops/shard %v\n",
 			m.TotalOps, len(m.Shards), m.OpsPerShard)
+		if m.LeaseSamples > 0 {
+			fmt.Fprintf(w, "metaplane leases: %d grants, %d follower reads (%d forwarded), %d split records migrated\n",
+				m.LeaseGrants, m.FollowerReads, m.ForwardedReads, m.SplitRecords)
+		}
 	}
 }

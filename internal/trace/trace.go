@@ -118,6 +118,14 @@ type metaSample struct {
 	ops    []int64
 }
 
+// leaseSample is one point of the metadata plane's lease/split timeline:
+// cumulative lease grants, follower-served and leader-forwarded reads,
+// and migrated split records.
+type leaseSample struct {
+	t                                         sim.Time
+	grants, follower, forwarded, splitRecords int64
+}
+
 // casSample is one point of the content-addressed store's timeline: the
 // cumulative logical bytes presented to flush versus the physical bytes
 // actually moved, plus the dead bytes awaiting GC at that instant.
@@ -156,6 +164,8 @@ type Recorder struct {
 	allocSamples []allocSample // allocator-counter timeline (sim.AllocTracer)
 
 	metaSamples []metaSample // metadata-plane per-shard op timeline
+
+	leaseSamples []leaseSample // metadata-plane lease/split timeline
 
 	casSamples []casSample // CAS logical-vs-physical byte timeline
 
@@ -380,6 +390,24 @@ func (r *Recorder) MetaSample(t sim.Time, shards []int, ops []int64) {
 		shards: append([]int(nil), shards...),
 		ops:    append([]int64(nil), ops...),
 	})
+}
+
+// LeaseSample records the metadata plane's cumulative lease and split
+// counters after a follower read, forwarded read, or migration batch (the
+// metaplane.LeaseSampler hook).
+func (r *Recorder) LeaseSample(t sim.Time, grants, followerReads, forwardedReads, splitRecords int64) {
+	if r == nil {
+		return
+	}
+	r.note(t)
+	s := leaseSample{t: t, grants: grants, follower: followerReads,
+		forwarded: forwardedReads, splitRecords: splitRecords}
+	// Same-instant updates supersede each other: keep the last state.
+	if n := len(r.leaseSamples); n > 0 && r.leaseSamples[n-1].t == t {
+		r.leaseSamples[n-1] = s
+		return
+	}
+	r.leaseSamples = append(r.leaseSamples, s)
 }
 
 // CASSample records the content-addressed store's cumulative logical and
